@@ -1,0 +1,160 @@
+// Command boattrain grows a decision tree over a binary dataset file with
+// BOAT (or, for comparison, RainForest or the in-memory reference), prints
+// the tree and the construction cost profile, and can persist the tree.
+//
+// Usage:
+//
+//	boattrain -input train.boat
+//	boattrain -input train.boat -algo rf-hybrid -threshold 1500000
+//	boattrain -input train.boat -method quest -save model.tree
+//	boattrain -input train.boat -update chunk.boat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/boatml/boat/internal/core"
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/rainforest"
+	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/tree"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "training dataset file (binary .boat, or .csv with -csv)")
+		csvMode   = flag.Bool("csv", false, "treat -input as a CSV file (schema inferred; last column = class, override with -classcol)")
+		csvHeader = flag.Bool("header", true, "CSV: first row is a header")
+		classCol  = flag.Int("classcol", 0, "CSV: 1-based class column (0 = last)")
+		algo      = flag.String("algo", "boat", "algorithm: boat | rf-hybrid | rf-vertical | inmem")
+		method    = flag.String("method", "gini", "split selection: gini | entropy | quest")
+		maxDepth  = flag.Int("maxdepth", 0, "depth limit (0 = unlimited)")
+		minSplit  = flag.Int64("minsplit", 2, "minimum family size to split")
+		threshold = flag.Int64("threshold", 0, "in-memory switch threshold (tuples; 0 = none)")
+		stop      = flag.Bool("stop", false, "stop growth at the threshold instead of finishing in memory")
+		sample    = flag.Int("sample", 0, "BOAT sample size (0 = auto)")
+		seed      = flag.Int64("seed", 1, "sampling seed")
+		avcBuffer = flag.Int64("avcbuffer", 3_000_000, "RainForest AVC buffer entries")
+		save      = flag.String("save", "", "write the encoded tree to this file")
+		update    = flag.String("update", "", "after building, insert this chunk file incrementally (boat only)")
+		quiet     = flag.Bool("quiet", false, "do not print the tree itself")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "boattrain: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var src data.Source
+	if *csvMode {
+		ds, err := data.ReadCSVFile(*input, data.CSVOptions{HasHeader: *csvHeader, ClassColumn: *classCol})
+		fatal(err)
+		fmt.Printf("csv: %d tuples, %d attributes, classes %v\n",
+			len(ds.Tuples), ds.Schema.NumAttrs(), ds.ClassNames)
+		src = ds.Source()
+	} else {
+		fs, err := data.OpenFile(*input)
+		fatal(err)
+		src = fs
+	}
+	m, err := methodFor(*method)
+	fatal(err)
+	grow := inmem.Config{
+		Method:          m,
+		MaxDepth:        *maxDepth,
+		MinSplit:        *minSplit,
+		StopThreshold:   *threshold,
+		StopAtThreshold: *stop,
+	}
+
+	var st iostats.Stats
+	var tr *tree.Tree
+	start := time.Now()
+	switch *algo {
+	case "boat":
+		bt, err := core.Build(src, core.Config{
+			Method: m, MaxDepth: *maxDepth, MinSplit: *minSplit,
+			StopThreshold: *threshold, StopAtThreshold: *stop,
+			SampleSize: *sample, Seed: *seed, Stats: &st,
+		})
+		fatal(err)
+		defer bt.Close()
+		built := time.Since(start)
+		bs := bt.BuildStats()
+		fmt.Printf("BOAT build: %.2fs | sample=%d coarse=%d disagreements=%d failures=%d stuck=%d frontier-rebuilds=%d\n",
+			built.Seconds(), bs.SampleSize, bs.CoarseNodes, bs.Disagreements,
+			bs.FailedNodes, bs.StuckTuples, bs.FrontierRebuilds)
+		fmt.Printf("  failure breakdown: no-candidate=%d better-cat=%d bound=%d tie=%d moment=%d\n",
+			bs.FailNoCandidate, bs.FailBetterCat, bs.FailBound, bs.FailTie, bs.FailMoment)
+		if *update != "" {
+			chunk, err := data.OpenFile(*update)
+			fatal(err)
+			ustart := time.Now()
+			upd, err := bt.Insert(chunk)
+			fatal(err)
+			fmt.Printf("incremental insert: %.2fs | tuples=%d rebuilt-subtrees=%d migrated=%d refitted-leaves=%d\n",
+				time.Since(ustart).Seconds(), upd.TuplesSeen, upd.RebuiltSubtrees,
+				upd.MigratedTuples, upd.RefittedLeaves)
+		}
+		tr = bt.Tree()
+	case "rf-hybrid", "rf-vertical":
+		t2, bs, err := rainforest.Build(src, rainforest.Config{
+			Grow:             grow,
+			AVCBufferEntries: *avcBuffer,
+			Vertical:         *algo == "rf-vertical",
+			Stats:            &st,
+		})
+		fatal(err)
+		fmt.Printf("%s build: %.2fs | scans=%d levels=%d peak-avc=%d\n",
+			*algo, time.Since(start).Seconds(), bs.Scans, bs.Levels, bs.PeakAVCEntries)
+		tr = t2
+	case "inmem":
+		tuples, err := data.ReadAll(iostats.Tracked(src, &st))
+		fatal(err)
+		tr = inmem.Build(src.Schema(), tuples, grow)
+		fmt.Printf("in-memory build: %.2fs\n", time.Since(start).Seconds())
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	fmt.Printf("io: %s\n", st.Snapshot())
+	fmt.Printf("tree: %d nodes, %d leaves, depth %d\n", tr.NumNodes(), tr.NumLeaves(), tr.Depth())
+	rate, err := tr.MisclassificationRate(src)
+	fatal(err)
+	fmt.Printf("training misclassification rate: %.4f\n", rate)
+	if !*quiet {
+		fmt.Print(tr)
+	}
+	if *save != "" {
+		raw, err := tree.EncodeTree(tr)
+		fatal(err)
+		fatal(os.WriteFile(*save, raw, 0o644))
+		fmt.Printf("saved tree (%d bytes) to %s\n", len(raw), *save)
+	}
+}
+
+func methodFor(name string) (split.Method, error) {
+	switch name {
+	case "gini":
+		return split.NewGini(), nil
+	case "entropy":
+		return split.NewEntropy(), nil
+	case "quest":
+		return split.NewQuestLike(), nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (want gini, entropy or quest)", name)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boattrain: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/boatml/boat
+
+go 1.22

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/boatml/boat/internal/bootstrap"
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/tree"
+)
+
+// Tree is a stateful BOAT tree: beyond the decision tree itself it retains
+// the per-node coarse criteria, cleanup statistics, stuck sets S_n and
+// stored leaf families, which is what makes exact incremental maintenance
+// possible (Section 4). Obtain one with Build; materialize the plain
+// decision tree with Tree(); update it with Insert and Delete; release its
+// temporary resources with Close.
+type Tree struct {
+	cfg    Config
+	schema *data.Schema
+	root   *bnode
+	budget *data.MemBudget
+
+	impurityBased split.ImpurityBased
+	momentBased   split.MomentBased
+
+	buildStats BuildStats
+
+	// rebuildDepth tracks BOAT-in-BOAT recursion for rebuilds.
+	rebuildDepth int
+	// seedCounter derives distinct bootstrap seeds for rebuilds.
+	seedCounter int64
+	// upd accumulates counters for the pass in progress.
+	upd *UpdateStats
+}
+
+// Build constructs the BOAT tree over the training database src.
+//
+// The algorithm makes exactly two sequential scans over src (plus
+// occasional re-processing of buffered subsets when verification fails):
+// scan one draws the sample D' for the sampling phase; scan two is the
+// cleanup scan that streams every tuple down the coarse tree.
+func Build(src data.Source, cfg Config) (*Tree, error) {
+	n, err := data.CountTuples(src) // known without scanning for all built-in sources
+	if err != nil {
+		return nil, err
+	}
+	cfg, err = cfg.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		cfg:    cfg,
+		schema: src.Schema(),
+		budget: data.NewMemBudget(cfg.MemBudgetTuples),
+	}
+	t.impurityBased, _ = cfg.Method.(split.ImpurityBased)
+	t.momentBased, _ = cfg.Method.(split.MomentBased)
+	if t.impurityBased == nil && t.momentBased == nil {
+		return nil, fmt.Errorf("core: unsupported method %q", cfg.Method.Name())
+	}
+
+	tracked := iostats.Tracked(src, cfg.Stats)
+	rng := cfg.newRNG()
+
+	// Sampling phase (scan 1): sample D', bootstrap, coarse criteria.
+	sample, err := data.ReservoirSample(tracked, cfg.SampleSize, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling phase: %w", err)
+	}
+	t.buildStats.SampleSize = len(sample)
+	root, err := t.buildFromSample(tracked, sample, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// buildFromSample runs the sampling phase (given the already-drawn
+// sample), the cleanup scan over src, and top-down processing, returning
+// the resulting subtree rooted at the given depth. It is shared by Build
+// and by recursive rebuild invocations.
+func (t *Tree) buildFromSample(src data.Source, sample []data.Tuple, n int64, depth int) (*bnode, error) {
+	t.seedCounter++
+	bcfg := bootstrap.Config{
+		Trees:         t.cfg.BootstrapTrees,
+		SubsampleSize: t.cfg.SubsampleSize,
+		WidenFraction: t.cfg.WidenFraction,
+		TreeConfig:    t.bootstrapGrowConfig(n),
+		Rng:           rand.New(rand.NewSource(t.cfg.Seed + t.seedCounter)),
+	}
+	coarse, bstats, err := bootstrap.BuildCoarse(t.schema, sample, bcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap: %w", err)
+	}
+	t.buildStats.CoarseNodes += bstats.CoarseNodes
+	t.buildStats.Disagreements += bstats.Disagreements
+
+	root := t.skeletonFromCoarse(coarse, sample, depth)
+
+	// Cleanup scan (scan 2): stream every tuple down the coarse tree.
+	var seen int64
+	err = data.ForEach(src, func(tp data.Tuple) error {
+		seen++
+		return t.route(root, tp, +1)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: cleanup scan: %w", err)
+	}
+	t.buildStats.TuplesSeen += seen
+	t.buildStats.StuckTuples += countStuck(root)
+
+	// Top-down processing: exact splits, verification, completion.
+	if err := t.process(root); err != nil {
+		return nil, fmt.Errorf("core: processing: %w", err)
+	}
+	return root, nil
+}
+
+// bootstrapGrowConfig derives the growth rules for bootstrap trees: the
+// family-size switch threshold is scaled by the sampling fraction so the
+// coarse tree reaches (approximately) the same depth the final tree will
+// have above the main-memory switch.
+func (t *Tree) bootstrapGrowConfig(n int64) (g inmem.Config) {
+	g = t.cfg.growConfig(0)
+	g.StopAtThreshold = true
+	if t.cfg.StopThreshold > 0 && n > 0 {
+		scaled := t.cfg.StopThreshold * int64(t.cfg.SubsampleSize) / n
+		if scaled < 1 {
+			scaled = 1
+		}
+		g.StopThreshold = scaled
+	} else {
+		g.StopAtThreshold = false
+	}
+	return g
+}
+
+func countStuck(n *bnode) int64 {
+	if n == nil || n.isLeaf() {
+		return 0
+	}
+	var s int64
+	if n.pending != nil {
+		s = n.pending.Len()
+	}
+	return s + countStuck(n.left) + countStuck(n.right)
+}
+
+// Schema returns the training schema.
+func (t *Tree) Schema() *data.Schema { return t.schema }
+
+// BuildStats returns the statistics of the original Build.
+func (t *Tree) BuildStats() BuildStats { return t.buildStats }
+
+// Tree materializes the current decision tree. The result is a plain
+// value: later Insert/Delete calls do not mutate previously returned
+// trees.
+func (t *Tree) Tree() *tree.Tree {
+	return &tree.Tree{Schema: t.schema, Root: materialize(t.root)}
+}
+
+func materialize(n *bnode) *tree.Node {
+	if n == nil {
+		return nil
+	}
+	if n.isLeaf() {
+		if n.subtree != nil {
+			return cloneTreeNode(n.subtree)
+		}
+		counts := make([]int64, len(n.classCounts))
+		copy(counts, n.classCounts)
+		return &tree.Node{Label: tree.MajorityLabel(counts), ClassCounts: counts}
+	}
+	counts := make([]int64, len(n.classCounts))
+	copy(counts, n.classCounts)
+	return &tree.Node{
+		Crit:        n.crit,
+		Left:        materialize(n.left),
+		Right:       materialize(n.right),
+		Label:       tree.MajorityLabel(counts),
+		ClassCounts: counts,
+	}
+}
+
+func cloneTreeNode(n *tree.Node) *tree.Node {
+	if n == nil {
+		return nil
+	}
+	counts := make([]int64, len(n.ClassCounts))
+	copy(counts, n.ClassCounts)
+	return &tree.Node{
+		Crit:        n.Crit,
+		Left:        cloneTreeNode(n.Left),
+		Right:       cloneTreeNode(n.Right),
+		Label:       n.Label,
+		ClassCounts: counts,
+	}
+}
+
+// Close releases all temporary resources (spill files, buffers).
+func (t *Tree) Close() error {
+	closeSubtree(t.root)
+	t.root = nil
+	return nil
+}
+
+// CheckConsistency validates internal invariants (used by tests).
+func (t *Tree) CheckConsistency() error {
+	if t.root == nil {
+		return fmt.Errorf("core: closed tree")
+	}
+	return t.root.checkConsistency(t.schema)
+}

@@ -1,0 +1,203 @@
+// Package core implements BOAT — the Bootstrapped Optimistic Algorithm
+// for Tree construction of Gehrke, Ganti, Ramakrishnan and Loh (SIGMOD
+// 1999): scalable decision tree construction in two scans over the
+// training database, with statistically-derived coarse splitting criteria
+// refined and verified against the full data, guaranteed to produce
+// exactly the tree a traditional algorithm would produce, plus
+// incremental maintenance under insertions and deletions (Section 4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/split"
+)
+
+// Config parameterizes BOAT.
+type Config struct {
+	// Method is the split selection method CL. BOAT is applicable to any
+	// binary-split method; impurity-based methods (split.ImpurityBased)
+	// are verified with the stamp-point lower bound of Lemma 3.1, and
+	// moment-based methods (split.MomentBased, e.g. the QUEST-like
+	// method) are verified by exact recomputation. Required.
+	Method split.Method
+
+	// SampleSize is |D'|, the in-memory sample drawn in one scan.
+	// 0 selects max(1000, N/10) capped at 200000 (the paper's setting).
+	SampleSize int
+	// BootstrapTrees is b, the number of bootstrap repetitions
+	// (paper: 20). 0 selects 20.
+	BootstrapTrees int
+	// SubsampleSize is the size of each bootstrap sample drawn with
+	// replacement from D' (paper: 50000 of 200000). 0 selects
+	// SampleSize/4 (minimum 1).
+	SubsampleSize int
+	// WidenFraction widens each confidence interval by this fraction of
+	// its width on both ends; larger values trade bigger stuck sets S_n
+	// for fewer interval escapes. 0.05 is the default used here.
+	WidenFraction float64
+
+	// MinSplit and MaxDepth are the growth stopping rules, shared with
+	// the reference algorithm (see inmem.Config).
+	MinSplit int64
+	MaxDepth int
+
+	// StopThreshold is the family size at which construction switches to
+	// the main-memory algorithm (the paper stops tree construction at
+	// families that fit in memory; Section 5 uses 1.5M tuples). With
+	// StopAtThreshold=true such families become leaves outright (the
+	// performance-experiment methodology); otherwise their subtrees are
+	// completed in memory, yielding the full reference tree.
+	StopThreshold   int64
+	StopAtThreshold bool
+
+	// BucketBudget is the number of discretization boundaries per
+	// (node, numeric attribute). 0 selects discretize.DefaultBudget.
+	BucketBudget int
+
+	// MemBudgetTuples bounds the tuples the tree's buffers (stuck sets
+	// S_n and stored leaf families) keep in memory; the overflow spills
+	// to temporary files in TempDir. 0 = unlimited.
+	MemBudgetTuples int64
+	// TempDir is the directory for spill files ("" = os.TempDir()).
+	TempDir string
+
+	// Seed drives sampling and bootstrapping. The output tree does not
+	// depend on it (that is the point of BOAT), but run traces do.
+	Seed int64
+
+	// Stats, when non-nil, receives scan/tuple/byte accounting for the
+	// primary training database and all spills.
+	Stats *iostats.Stats
+
+	// MaxRebuildRecursion bounds how deeply BOAT may invoke itself on the
+	// gathered family of a failed or frontier node before falling back to
+	// the main-memory algorithm. 0 selects 3.
+	MaxRebuildRecursion int
+}
+
+// withDefaults validates and normalizes the configuration.
+func (c Config) withDefaults(n int64) (Config, error) {
+	if c.Method == nil {
+		return c, errors.New("core: Config.Method is required")
+	}
+	switch c.Method.(type) {
+	case split.ImpurityBased, split.MomentBased:
+	default:
+		return c, fmt.Errorf("core: method %q is neither impurity-based nor moment-based; BOAT cannot verify its coarse criteria", c.Method.Name())
+	}
+	if c.SampleSize <= 0 {
+		s := n / 10
+		if s < 1000 {
+			s = 1000
+		}
+		if s > 200000 {
+			s = 200000
+		}
+		c.SampleSize = int(s)
+	}
+	if c.BootstrapTrees <= 0 {
+		c.BootstrapTrees = 20
+	}
+	if c.SubsampleSize <= 0 {
+		c.SubsampleSize = c.SampleSize / 4
+		if c.SubsampleSize < 1 {
+			c.SubsampleSize = 1
+		}
+	}
+	if c.WidenFraction < 0 {
+		return c, fmt.Errorf("core: negative WidenFraction %v", c.WidenFraction)
+	}
+	if c.MinSplit < 0 || c.MaxDepth < 0 || c.StopThreshold < 0 {
+		return c, errors.New("core: negative growth limits")
+	}
+	if c.MaxRebuildRecursion <= 0 {
+		c.MaxRebuildRecursion = 3
+	}
+	return c, nil
+}
+
+// growConfig returns the reference growth rules derived from the config;
+// depthOffset adjusts MaxDepth for subtrees rooted below the global root.
+func (c Config) growConfig(depthOffset int) inmem.Config {
+	g := inmem.Config{
+		Method:          c.Method,
+		MinSplit:        c.MinSplit,
+		MaxDepth:        c.MaxDepth,
+		StopThreshold:   c.StopThreshold,
+		StopAtThreshold: c.StopAtThreshold,
+	}
+	if g.MaxDepth > 0 {
+		g.MaxDepth -= depthOffset
+		if g.MaxDepth < 1 {
+			// Callers never build subtrees at or beyond MaxDepth; clamp
+			// defensively so such a build yields a single leaf.
+			g.MaxDepth = -1
+		}
+	}
+	return g
+}
+
+// BuildStats reports what happened during a Build.
+type BuildStats struct {
+	// TuplesSeen is |D| as observed by the cleanup scan.
+	TuplesSeen int64
+	// SampleSize is |D'|.
+	SampleSize int
+	// CoarseNodes and Disagreements summarize the sampling phase.
+	CoarseNodes   int
+	Disagreements int
+	// FailedNodes counts coarse nodes whose verification failed
+	// (Section 3.4), forcing a rebuild of their subtree. The FailXxx
+	// fields break the failures down by cause.
+	FailedNodes int64
+	// FailNoCandidate: no legal split point inside the confidence
+	// interval (the split escaped it entirely).
+	FailNoCandidate int64
+	// FailBetterCat: an exactly evaluated categorical split beat the
+	// coarse attribute (or the coarse categorical subset changed).
+	FailBetterCat int64
+	// FailBound: a stamp-point lower bound (Lemma 3.1) admitted a better
+	// split outside the coarse criterion.
+	FailBound int64
+	// FailTie: a lower bound tied the chosen quality where the canonical
+	// order might prefer the other candidate (conservative rebuild).
+	FailTie int64
+	// FailMoment: a moment-based method's exact recomputation
+	// contradicted the coarse criterion.
+	FailMoment int64
+	// FrontierRebuilds counts frontier families too large for the
+	// main-memory switch, rebuilt by recursive BOAT invocations.
+	FrontierRebuilds int64
+	// RebuildTuples counts tuples re-processed by rebuilds (the paper's
+	// "additional scans over subsets of the data").
+	RebuildTuples int64
+	// StuckTuples is the total size of the stuck sets S_n after the
+	// cleanup scan.
+	StuckTuples int64
+	// InMemoryLeaves counts switch-over nodes finished in memory.
+	InMemoryLeaves int64
+}
+
+// UpdateStats reports what happened during an Insert or Delete.
+type UpdateStats struct {
+	// TuplesSeen is the chunk size streamed down the tree.
+	TuplesSeen int64
+	// RebuiltSubtrees counts nodes whose coarse criterion was invalidated
+	// by the update (distribution change), rebuilding their subtree.
+	RebuiltSubtrees int64
+	// RebuildTuples counts tuples re-processed by those rebuilds.
+	RebuildTuples int64
+	// MigratedTuples counts stuck tuples re-routed between children when
+	// a final split point moved within its confidence interval.
+	MigratedTuples int64
+	// RefittedLeaves counts stored leaf families whose in-memory subtree
+	// was re-grown.
+	RefittedLeaves int64
+}
+
+func (c Config) newRNG() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }

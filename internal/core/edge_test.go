@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/warehouse"
+)
+
+// TestIncrementalWithSpillBudget maintains a tree whose buffers overflow
+// to disk throughout a sequence of updates.
+func TestIncrementalWithSpillBudget(t *testing.T) {
+	g := inmem.Config{Method: split.NewGini(), MaxDepth: 4, MinSplit: 100}
+	base := gen.MustSource(gen.Config{Function: 1, Noise: 0.08}, 5000, 1)
+	var st iostats.Stats
+	bt, err := Build(base, Config{
+		Method: split.NewGini(), MaxDepth: 4, MinSplit: 100,
+		SampleSize: 1200, Seed: 3,
+		MemBudgetTuples: 400, TempDir: t.TempDir(), Stats: &st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	all, _ := data.ReadAll(base)
+	for seed := int64(2); seed <= 4; seed++ {
+		chunk := gen.MustSource(gen.Config{Function: 1, Noise: 0.08}, 3000, seed)
+		if _, err := bt.Insert(chunk); err != nil {
+			t.Fatal(err)
+		}
+		ct, _ := data.ReadAll(chunk)
+		all = append(all, ct...)
+	}
+	if st.SpillTuples() == 0 {
+		t.Error("expected spilling under a 400-tuple budget")
+	}
+	ref := inmem.Build(base.Schema(), data.CloneTuples(all), g)
+	requireEqual(t, "spilled incremental", bt.Tree(), ref)
+	// Now delete a chunk, still under the spill regime.
+	chunk := gen.MustSource(gen.Config{Function: 1, Noise: 0.08}, 3000, 3)
+	if _, err := bt.Delete(chunk); err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := data.ReadAll(chunk)
+	ref = inmem.Build(base.Schema(), subtract(all, ct), g)
+	requireEqual(t, "spilled delete", bt.Tree(), ref)
+}
+
+// TestIncrementalEntropy exercises the second impurity criterion through
+// the full update cycle.
+func TestIncrementalEntropy(t *testing.T) {
+	g := inmem.Config{Method: split.NewEntropy(), MaxDepth: 4, MinSplit: 100}
+	base := gen.MustSource(gen.Config{Function: 3, Noise: 0.05}, 5000, 1)
+	bt, err := Build(base, Config{Method: split.NewEntropy(), MaxDepth: 4, MinSplit: 100, SampleSize: 1200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	all, _ := data.ReadAll(base)
+	chunk := gen.MustSource(gen.Config{Function: 3, Noise: 0.05}, 4000, 2)
+	if _, err := bt.Insert(chunk); err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := data.ReadAll(chunk)
+	ref := inmem.Build(base.Schema(), append(data.CloneTuples(all), ct...), g)
+	requireEqual(t, "entropy insert", bt.Tree(), ref)
+}
+
+// TestCategoricalCoarseCriteria forces a schema where the root split is
+// categorical, exercising the exact-subset coarse criterion path.
+func TestCategoricalCoarseCriteria(t *testing.T) {
+	schema := data.MustSchema([]data.Attribute{
+		{Name: "color", Kind: data.Categorical, Cardinality: 6},
+		{Name: "noise", Kind: data.Numeric},
+	}, 2)
+	var tuples []data.Tuple
+	for i := 0; i < 6000; i++ {
+		code := i % 6
+		class := 0
+		if code == 1 || code == 4 {
+			class = 1
+		}
+		if i%29 == 0 { // some noise
+			class = 1 - class
+		}
+		tuples = append(tuples, data.Tuple{
+			Values: []float64{float64(code), float64(i % 97)},
+			Class:  class,
+		})
+	}
+	src := data.NewMemSource(schema, tuples)
+	g := inmem.Config{Method: split.NewGini(), MaxDepth: 4, MinSplit: 20}
+	ref := inmem.Build(schema, data.CloneTuples(tuples), g)
+	if ref.Root.Crit.Kind != data.Categorical {
+		t.Fatalf("setup: reference root is not categorical: %v", ref.Root.Crit)
+	}
+	bt, err := Build(src, Config{Method: split.NewGini(), MaxDepth: 4, MinSplit: 20, SampleSize: 1500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	requireEqual(t, "categorical coarse", bt.Tree(), ref)
+
+	// Incremental update over the categorical root.
+	var chunk []data.Tuple
+	for i := 0; i < 2000; i++ {
+		code := (i + 3) % 6
+		class := 0
+		if code == 1 || code == 4 {
+			class = 1
+		}
+		chunk = append(chunk, data.Tuple{
+			Values: []float64{float64(code), float64(i % 83)},
+			Class:  class,
+		})
+	}
+	if _, err := bt.Insert(data.NewMemSource(schema, chunk)); err != nil {
+		t.Fatal(err)
+	}
+	ref = inmem.Build(schema, append(data.CloneTuples(tuples), chunk...), g)
+	requireEqual(t, "categorical incremental", bt.Tree(), ref)
+}
+
+// TestCategoricalSubsetChangeRebuilds: shifting the category-class
+// relationship must invalidate the coarse subset and rebuild exactly.
+func TestCategoricalSubsetChangeRebuilds(t *testing.T) {
+	schema := data.MustSchema([]data.Attribute{
+		{Name: "color", Kind: data.Categorical, Cardinality: 4},
+		{Name: "x", Kind: data.Numeric},
+	}, 2)
+	mk := func(n int, flip bool, offset int) []data.Tuple {
+		var out []data.Tuple
+		for i := 0; i < n; i++ {
+			code := (i + offset) % 4
+			class := 0
+			if code >= 2 {
+				class = 1
+			}
+			if flip { // new regime: different subset structure
+				class = 0
+				if code == 0 || code == 2 {
+					class = 1
+				}
+			}
+			out = append(out, data.Tuple{
+				Values: []float64{float64(code), float64(i % 53)},
+				Class:  class,
+			})
+		}
+		return out
+	}
+	base := mk(4000, false, 0)
+	bt, err := Build(data.NewMemSource(schema, base), Config{
+		Method: split.NewGini(), MaxDepth: 3, MinSplit: 20, SampleSize: 1000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	// Overwhelm the old regime with flipped data.
+	chunk := mk(12000, true, 1)
+	upd, err := bt.Insert(data.NewMemSource(schema, chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inmem.Config{Method: split.NewGini(), MaxDepth: 3, MinSplit: 20}
+	ref := inmem.Build(schema, append(data.CloneTuples(base), chunk...), g)
+	requireEqual(t, "subset change", bt.Tree(), ref)
+	if upd.RebuiltSubtrees == 0 {
+		t.Error("expected a rebuild when the categorical relationship flipped")
+	}
+}
+
+// TestStarJoinIncremental drives BOAT incrementally over the warehouse
+// star-join view.
+func TestStarJoinIncremental(t *testing.T) {
+	star, err := warehouse.NewStar(300, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := star.TrainingView(8000, 1)
+	bt, err := Build(base, Config{Method: split.NewGini(), MaxDepth: 4, MinSplit: 100, SampleSize: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	chunk := star.TrainingView(5000, 2)
+	if _, err := bt.Insert(chunk); err != nil {
+		t.Fatal(err)
+	}
+	all, _ := data.ReadAll(base)
+	ct, _ := data.ReadAll(chunk)
+	ref := inmem.Build(base.Schema(), append(all, ct...), inmem.Config{
+		Method: split.NewGini(), MaxDepth: 4, MinSplit: 100,
+	})
+	requireEqual(t, "star-join incremental", bt.Tree(), ref)
+}
+
+// TestManySeedsStopMode fuzzes the performance-methodology configuration
+// (the one the benchmark harness uses) across seeds.
+func TestManySeedsStopMode(t *testing.T) {
+	g := inmem.Config{Method: split.NewGini(), StopThreshold: 1000, StopAtThreshold: true}
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			fn := int(seed%3)*3 + 1 // functions 1, 4, 7
+			src := gen.MustSource(gen.Config{Function: fn, Noise: 0.05}, 8000, seed+100)
+			ref := buildRef(t, src, g)
+			bt, err := Build(src, Config{
+				Method: split.NewGini(), StopThreshold: 1000, StopAtThreshold: true,
+				SampleSize: 1600, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bt.Close()
+			requireEqual(t, "stop-mode fuzz", bt.Tree(), ref)
+		})
+	}
+}

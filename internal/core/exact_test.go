@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/tree"
+)
+
+// buildRef grows the reference tree with the in-memory algorithm.
+func buildRef(t *testing.T, src data.Source, g inmem.Config) *tree.Tree {
+	t.Helper()
+	tuples, err := data.ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inmem.Build(src.Schema(), tuples, g)
+}
+
+// requireEqual fails the test with a diff when the trees differ.
+func requireEqual(t *testing.T, label string, got, want *tree.Tree) {
+	t.Helper()
+	if !got.Equal(want) {
+		t.Fatalf("%s: trees differ: %s\n--- got ---\n%s\n--- want ---\n%s",
+			label, got.Diff(want), got, want)
+	}
+}
+
+// TestExactnessMatrix is the paper's central claim (Sections 3, 7): BOAT
+// constructs exactly the same decision tree as the traditional algorithm,
+// across classification functions, split selection methods, and noise
+// levels.
+func TestExactnessMatrix(t *testing.T) {
+	methods := []split.Method{split.NewGini(), split.NewEntropy(), split.NewQuestLike()}
+	for _, fn := range []int{1, 3, 5, 6, 7, 10} {
+		for _, m := range methods {
+			for _, noise := range []float64{0, 0.08} {
+				name := fmt.Sprintf("F%d/%s/noise=%v", fn, m.Name(), noise)
+				t.Run(name, func(t *testing.T) {
+					src := gen.MustSource(gen.Config{Function: fn, Noise: noise}, 8000, int64(fn)*100+7)
+					g := inmem.Config{Method: m, MaxDepth: 5, MinSplit: 50}
+					ref := buildRef(t, src, g)
+					bt, err := Build(src, Config{
+						Method: m, MaxDepth: 5, MinSplit: 50,
+						SampleSize: 1500, Seed: 11,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer bt.Close()
+					requireEqual(t, name, bt.Tree(), ref)
+					if err := bt.CheckConsistency(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestExactnessStopMode verifies the performance-experiment methodology:
+// construction stops at families below the in-memory threshold, and BOAT
+// still produces the identical (truncated) tree.
+func TestExactnessStopMode(t *testing.T) {
+	for _, fn := range []int{1, 6, 7} {
+		t.Run(fmt.Sprintf("F%d", fn), func(t *testing.T) {
+			src := gen.MustSource(gen.Config{Function: fn, Noise: 0.05}, 12000, int64(fn))
+			g := inmem.Config{
+				Method: split.NewGini(), StopThreshold: 1500, StopAtThreshold: true,
+			}
+			ref := buildRef(t, src, g)
+			bt, err := Build(src, Config{
+				Method: split.NewGini(), StopThreshold: 1500, StopAtThreshold: true,
+				SampleSize: 2500, Seed: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bt.Close()
+			requireEqual(t, "stop mode", bt.Tree(), ref)
+		})
+	}
+}
+
+// TestExactnessSwitchOverMode verifies the non-stop threshold semantics:
+// families below the threshold are completed in memory, producing the full
+// reference tree.
+func TestExactnessSwitchOverMode(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 6, Noise: 0.05}, 10000, 21)
+	g := inmem.Config{Method: split.NewGini(), MaxDepth: 7, MinSplit: 20}
+	ref := buildRef(t, src, g)
+	bt, err := Build(src, Config{
+		Method: split.NewGini(), MaxDepth: 7, MinSplit: 20,
+		StopThreshold: 2000, SampleSize: 2000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	requireEqual(t, "switch-over", bt.Tree(), ref)
+	if bt.BuildStats().InMemoryLeaves == 0 {
+		t.Error("expected in-memory switch-over leaves")
+	}
+}
+
+// TestExactnessFileSource runs BOAT against an on-disk training database
+// in the paper's 40-byte record format.
+func TestExactnessFileSource(t *testing.T) {
+	genSrc := gen.MustSource(gen.Config{Function: 7, Noise: 0.05}, 9000, 31)
+	path := filepath.Join(t.TempDir(), "train.boat")
+	if _, err := data.WriteFile(path, genSrc, data.FormatCompact); err != nil {
+		t.Fatal(err)
+	}
+	src, err := data.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inmem.Config{Method: split.NewGini(), MaxDepth: 5, MinSplit: 50}
+	ref := buildRef(t, src, g)
+	var st iostats.Stats
+	bt, err := Build(src, Config{
+		Method: split.NewGini(), MaxDepth: 5, MinSplit: 50,
+		SampleSize: 1800, Seed: 5, Stats: &st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	requireEqual(t, "file source", bt.Tree(), ref)
+	if st.Scans() != 2 {
+		t.Errorf("BOAT made %d scans over D, want 2", st.Scans())
+	}
+	if st.TuplesRead() != 18000 {
+		t.Errorf("tuples read = %d, want 18000", st.TuplesRead())
+	}
+}
+
+// TestExactnessWithSpill forces the stuck sets and leaf families to
+// overflow to temporary files and checks that nothing changes.
+func TestExactnessWithSpill(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, 8000, 13)
+	g := inmem.Config{Method: split.NewGini(), MaxDepth: 5, MinSplit: 50}
+	ref := buildRef(t, src, g)
+	var st iostats.Stats
+	bt, err := Build(src, Config{
+		Method: split.NewGini(), MaxDepth: 5, MinSplit: 50,
+		SampleSize: 1500, Seed: 7,
+		MemBudgetTuples: 500, TempDir: t.TempDir(), Stats: &st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	requireEqual(t, "spill", bt.Tree(), ref)
+	if st.SpillTuples() == 0 {
+		t.Error("expected spilled tuples under a 500-tuple memory budget")
+	}
+}
+
+// TestExactnessExtraAttributes mirrors the Figure 10/11 workload shape.
+func TestExactnessExtraAttributes(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 1, ExtraAttrs: 4, Noise: 0.05}, 6000, 17)
+	g := inmem.Config{Method: split.NewGini(), MaxDepth: 4, MinSplit: 50}
+	ref := buildRef(t, src, g)
+	bt, err := Build(src, Config{
+		Method: split.NewGini(), MaxDepth: 4, MinSplit: 50, SampleSize: 1500, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	requireEqual(t, "extra attrs", bt.Tree(), ref)
+}
+
+// TestExactnessInstability runs BOAT on the Figure 12 two-minima dataset,
+// where bootstrap disagreement and interval escapes are by construction
+// common; the guarantee must hold regardless.
+func TestExactnessInstability(t *testing.T) {
+	src := gen.InstabilitySource(12000, 29)
+	g := inmem.Config{Method: split.NewGini(), MaxDepth: 4, MinSplit: 100}
+	ref := buildRef(t, src, g)
+	for seed := int64(1); seed <= 4; seed++ {
+		bt, err := Build(src, Config{
+			Method: split.NewGini(), MaxDepth: 4, MinSplit: 100,
+			SampleSize: 1000, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqual(t, fmt.Sprintf("instability seed %d", seed), bt.Tree(), ref)
+		bt.Close()
+	}
+}
+
+// TestExactnessRandomizedFuzz compares BOAT against the reference on many
+// small random datasets over random mixed schemas — a broad property test
+// of the exactness guarantee including categorical coarse criteria and
+// multi-class problems.
+func TestExactnessRandomizedFuzz(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schema, tuples := randomDataset(rng)
+			src := data.NewMemSource(schema, tuples)
+			for _, m := range []split.Method{split.NewGini(), split.NewQuestLike()} {
+				g := inmem.Config{Method: m, MaxDepth: 4, MinSplit: 10}
+				ref := inmem.Build(schema, data.CloneTuples(tuples), g)
+				bt, err := Build(src, Config{
+					Method: m, MaxDepth: 4, MinSplit: 10,
+					SampleSize: len(tuples)/4 + 10, BootstrapTrees: 8, Seed: seed,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", m.Name(), err)
+				}
+				requireEqual(t, m.Name(), bt.Tree(), ref)
+				if err := bt.CheckConsistency(); err != nil {
+					t.Fatalf("%s: %v", m.Name(), err)
+				}
+				bt.Close()
+			}
+		})
+	}
+}
+
+// randomDataset generates a random mixed-schema dataset with a planted
+// (noisy) concept so trees have real structure.
+func randomDataset(rng *rand.Rand) (*data.Schema, []data.Tuple) {
+	numAttrs := 1 + rng.Intn(3)
+	catAttrs := rng.Intn(3)
+	if numAttrs+catAttrs < 2 {
+		catAttrs++
+	}
+	classes := 2 + rng.Intn(2)
+	var attrs []data.Attribute
+	for i := 0; i < numAttrs; i++ {
+		attrs = append(attrs, data.Attribute{Name: fmt.Sprintf("n%d", i), Kind: data.Numeric})
+	}
+	for i := 0; i < catAttrs; i++ {
+		attrs = append(attrs, data.Attribute{
+			Name: fmt.Sprintf("c%d", i), Kind: data.Categorical, Cardinality: 2 + rng.Intn(6),
+		})
+	}
+	schema := data.MustSchema(attrs, classes)
+	n := 400 + rng.Intn(1200)
+	domain := 5 + rng.Intn(40)
+	pivot := float64(rng.Intn(domain))
+	tuples := make([]data.Tuple, n)
+	for i := range tuples {
+		vals := make([]float64, len(attrs))
+		for a, at := range attrs {
+			if at.Kind == data.Numeric {
+				vals[a] = float64(rng.Intn(domain))
+			} else {
+				vals[a] = float64(rng.Intn(at.Cardinality))
+			}
+		}
+		class := 0
+		if vals[0] > pivot {
+			class = 1
+		}
+		if catAttrs > 0 && int(vals[numAttrs])%2 == 1 {
+			class = (class + 1) % classes
+		}
+		if rng.Float64() < 0.15 {
+			class = rng.Intn(classes)
+		}
+		tuples[i] = data.Tuple{Values: vals, Class: class}
+	}
+	return schema, tuples
+}

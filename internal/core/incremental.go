@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/iostats"
+)
+
+// Insert incorporates a new chunk of training data into the tree
+// (Section 4): the chunk is streamed down the tree exactly as during the
+// cleanup scan — updating every per-node statistic, sticking in-interval
+// tuples into the S_n sets — and then the same top-down verification /
+// refinement pass as the static build runs over the whole tree. The
+// resulting tree is guaranteed identical to rebuilding from scratch on
+// D ∪ chunk. Only one scan of the chunk is performed; the original
+// training database is never re-read unless a coarse criterion is
+// invalidated, in which case the affected subtree is rebuilt from the
+// buffers the tree maintains.
+func (t *Tree) Insert(chunk data.Source) (UpdateStats, error) {
+	return t.update(chunk, +1)
+}
+
+// Delete removes an expired chunk from the training data (tuples must be
+// present; dangling deletions are reported as errors). Handled
+// symmetrically to Insert: counts are decremented, stuck and stored
+// tuples are removed, and the verification pass rebuilds whatever the
+// deletions invalidated. The result is guaranteed identical to rebuilding
+// from scratch on D minus the chunk.
+func (t *Tree) Delete(chunk data.Source) (UpdateStats, error) {
+	return t.update(chunk, -1)
+}
+
+func (t *Tree) update(chunk data.Source, w int64) (UpdateStats, error) {
+	if t.root == nil {
+		return UpdateStats{}, errors.New("core: tree is closed")
+	}
+	if !t.schema.Equal(chunk.Schema()) {
+		return UpdateStats{}, data.ErrSchemaMismatch
+	}
+	upd := &UpdateStats{}
+	t.upd = upd
+	defer func() { t.upd = nil }()
+
+	tracked := iostats.Tracked(chunk, t.cfg.Stats)
+	err := data.ForEach(tracked, func(tp data.Tuple) error {
+		upd.TuplesSeen++
+		return t.route(t.root, tp, w)
+	})
+	if err != nil {
+		return *upd, fmt.Errorf("core: streaming update chunk: %w", err)
+	}
+	if err := t.process(t.root); err != nil {
+		return *upd, fmt.Errorf("core: post-update processing: %w", err)
+	}
+	return *upd, nil
+}
+
+func (t *Tree) noteRebuildTuples(n int64) {
+	if t.upd == nil {
+		t.buildStats.RebuildTuples += n
+	} else {
+		t.upd.RebuildTuples += n
+	}
+}

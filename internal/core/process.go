@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/discretize"
+	"github.com/boatml/boat/internal/hull"
+	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/split"
+)
+
+// process performs the top-down pass over the subtree (Sections 3.3-3.5
+// for the static build; the identical pass also runs after every update
+// chunk, Section 4): at each internal node it computes the exact final
+// splitting criterion, verifies that the coarse criterion captured the
+// global optimum, pushes stuck tuples down, migrates previously pushed
+// tuples if the split point moved within its confidence interval, and
+// recurses; verification failures discard and rebuild the subtree.
+func (t *Tree) process(n *bnode) error {
+	if n.isLeaf() {
+		return t.processLeaf(n)
+	}
+	grow := t.cfg.growConfig(0)
+	if grow.StopBeforeSplit(n.total(), n.depth, n.classCounts) {
+		// The reference algorithm makes this node a leaf (it became pure
+		// or too small, e.g. after deletions).
+		return t.demoteToLeaf(n)
+	}
+	chosen, ok := t.verify(n)
+	if !ok {
+		t.noteFailure()
+		return t.rebuildFromSubtree(n)
+	}
+	if n.coarse.kind == data.Numeric {
+		if n.pushed.Len() > 0 && n.routedThr != chosen.Threshold {
+			if err := t.migrate(n, n.routedThr, chosen.Threshold); err != nil {
+				return err
+			}
+		}
+		if n.pending.Len() > 0 {
+			err := n.pending.ForEach(func(tp data.Tuple) error {
+				child := n.right
+				if tp.Values[n.coarse.attr] <= chosen.Threshold {
+					child = n.left
+				}
+				if err := t.route(child, tp, +1); err != nil {
+					return err
+				}
+				return n.pushed.Add(tp)
+			})
+			if err != nil {
+				return fmt.Errorf("core: pushing stuck tuples: %w", err)
+			}
+			if err := n.pending.Reset(); err != nil {
+				return err
+			}
+		}
+		n.routedThr = chosen.Threshold
+	}
+	n.crit = chosen
+	if err := t.process(n.left); err != nil {
+		return err
+	}
+	return t.process(n.right)
+}
+
+// migrate re-routes previously pushed stuck tuples whose side changed when
+// the final split point moved from old to new within the confidence
+// interval. Only the tuples between the two thresholds move; the paper's
+// claim that stable distributions make updates cheap rests on this set
+// being small.
+func (t *Tree) migrate(n *bnode, old, new float64) error {
+	attr := n.coarse.attr
+	var moved int64
+	err := n.pushed.ForEach(func(tp data.Tuple) error {
+		v := tp.Values[attr]
+		switch {
+		case new > old && v > old && v <= new: // was routed right, now belongs left
+			if err := t.route(n.right, tp, -1); err != nil {
+				return err
+			}
+			moved++
+			return t.route(n.left, tp, +1)
+		case new < old && v > new && v <= old: // was routed left, now belongs right
+			if err := t.route(n.left, tp, -1); err != nil {
+				return err
+			}
+			moved++
+			return t.route(n.right, tp, +1)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: migrating stuck tuples: %w", err)
+	}
+	if t.upd != nil {
+		t.upd.MigratedTuples += moved
+	}
+	return nil
+}
+
+// verify computes the exact final splitting criterion at n given the
+// coarse criterion, and checks that the global optimum cannot lie outside
+// it (Lemma 3.2). ok=false signals that the coarse splitting criterion is
+// (or may be) incorrect; the subtree must be discarded and rebuilt.
+func (t *Tree) verify(n *bnode) (split.Split, bool) {
+	if t.momentBased != nil {
+		return t.verifyMoments(n)
+	}
+	return t.verifyImpurity(n)
+}
+
+// verifyMoments: moment-based methods recompute their criterion exactly
+// from the streamed sufficient statistics; the only failure modes are a
+// different splitting attribute, a different splitting subset, or a split
+// point outside the confidence interval (all of which invalidate how the
+// scan routed tuples to the children).
+func (t *Tree) verifyMoments(n *bnode) (split.Split, bool) {
+	chosen := t.momentBased.BestSplitFromMoments(n.moments)
+	c := n.coarse
+	if !chosen.Found || chosen.Attr != c.attr || chosen.Kind != c.kind {
+		t.buildStats.FailMoment++
+		return split.Split{}, false
+	}
+	if c.kind == data.Categorical {
+		if chosen.Subset != c.subset {
+			t.buildStats.FailMoment++
+			return split.Split{}, false
+		}
+		return chosen, true
+	}
+	if chosen.Threshold < c.lo || chosen.Threshold > c.hi {
+		t.buildStats.FailMoment++
+		return split.Split{}, false
+	}
+	return chosen, true
+}
+
+// verifyImpurity implements Section 3.4 for impurity-based methods:
+//
+//  1. the exact best split inside the confidence interval is computed
+//     from the stuck set S_n and the interval's base counters (or, for a
+//     categorical coarse attribute, the exact best subset from the
+//     complete category-class counts, which must equal the coarse one);
+//  2. every categorical attribute's exact best split must not beat it;
+//  3. every numeric attribute's discretization buckets must lower-bound
+//     (Lemma 3.1) above it, except the buckets covered by the interval
+//     itself, which step 1 evaluated exactly.
+//
+// Tie handling is deliberately conservative: a bucket whose lower bound
+// equals the chosen quality fails verification if it could contain an
+// equal-quality candidate that the canonical order (split.Split.Better)
+// would prefer — an occasional spurious rebuild instead of a wrong tree.
+func (t *Tree) verifyImpurity(n *bnode) (split.Split, bool) {
+	crit := t.impurityBased.Criterion()
+	c := n.coarse
+
+	bestCat := split.NoSplit()
+	for i, cc := range n.catCounts {
+		if cc == nil {
+			continue
+		}
+		cand := split.BestCategoricalSplit(crit, i, cc, n.classCounts)
+		if cand.Better(bestCat) {
+			bestCat = cand
+		}
+	}
+
+	var chosen split.Split
+	if c.kind == data.Numeric {
+		avc, err := t.stuckAVC(n)
+		if err != nil {
+			return split.Split{}, false
+		}
+		bestIv := split.BestNumericSplitInInterval(crit, c.attr, n.lowCounts,
+			n.eqLow > 0, c.lo, avc, n.classCounts)
+		if !bestIv.Found {
+			t.buildStats.FailNoCandidate++
+			return split.Split{}, false
+		}
+		if bestCat.Better(bestIv) {
+			// A categorical attribute beats the coarse attribute: the
+			// coarse splitting attribute is wrong.
+			t.buildStats.FailBetterCat++
+			return split.Split{}, false
+		}
+		chosen = bestIv
+	} else {
+		exact := split.BestCategoricalSplit(crit, c.attr, n.catCounts[c.attr], n.classCounts)
+		if !exact.Found || exact.Subset != c.subset {
+			t.buildStats.FailBetterCat++
+			return split.Split{}, false
+		}
+		if bestCat.Better(exact) {
+			t.buildStats.FailBetterCat++
+			return split.Split{}, false
+		}
+		chosen = exact
+	}
+
+	iPrime := chosen.Quality
+	scratch := make([]int64, len(n.classCounts))
+	for i, h := range n.hist {
+		if h == nil {
+			continue
+		}
+		stamps := h.StampPoints()
+		isCoarseAttr := c.kind == data.Numeric && i == c.attr
+		for cell := 0; cell < h.NumCells(); cell++ {
+			if h.CellTotal(cell) == 0 && h.IsAtom(cell) {
+				// The boundary value does not occur in the family; the
+				// split at it induces the same partition as the previous
+				// stamp point, already covered.
+				continue
+			}
+			loEdge, hiEdge := h.CellLowerEdge(cell), h.CellUpperEdge(cell)
+			if isCoarseAttr && loEdge >= c.lo && hiEdge <= c.hi {
+				// Candidates in [lo, hi] were evaluated exactly from the
+				// stuck set (and the lo base counters).
+				continue
+			}
+			var lb float64
+			var tieValue float64 // a value at or below every candidate the cell may hide
+			if h.IsAtom(cell) {
+				// Exact evaluation: the stamp point at the boundary is
+				// the true partition of the split X <= boundary.
+				lb = crit.QualityFromLeft(stamps[cell+1], n.classCounts, scratch)
+				tieValue = h.AtomValue(cell)
+			} else {
+				if isInteriorEmpty(h, cell) {
+					// No observed values strictly inside: no candidates.
+					continue
+				}
+				lb = hull.LowerBound(crit, stamps[cell], stamps[cell+1], n.classCounts)
+				tieValue = loEdge
+			}
+			if lb < iPrime {
+				t.buildStats.FailBound++
+				return split.Split{}, false
+			}
+			if lb == iPrime {
+				// A candidate here could tie the chosen split; fail if
+				// the canonical order would prefer it (conservative for
+				// interior cells).
+				if i < chosen.Attr ||
+					(i == chosen.Attr && chosen.Kind == data.Numeric && tieValue < chosen.Threshold) {
+					t.buildStats.FailTie++
+					return split.Split{}, false
+				}
+			}
+		}
+	}
+	return chosen, true
+}
+
+// isInteriorEmpty reports whether an interior cell holds no tuples (hence
+// no candidate split points strictly inside its open range).
+func isInteriorEmpty(h *discretize.Histogram, cell int) bool {
+	return h.CellTotal(cell) == 0
+}
+
+// stuckAVC aggregates the stuck set S_n (pending plus pushed tuples, net
+// of removals) into the AVC-set of the coarse attribute's in-interval
+// values.
+func (t *Tree) stuckAVC(n *bnode) (*split.NumericAVC, error) {
+	attr := n.coarse.attr
+	m := make(map[float64][]int64)
+	collect := func(tp data.Tuple) error {
+		v := tp.Values[attr]
+		row := m[v]
+		if row == nil {
+			row = make([]int64, t.schema.ClassCount)
+			m[v] = row
+		}
+		row[tp.Class]++
+		return nil
+	}
+	if err := n.pending.ForEach(collect); err != nil {
+		return nil, err
+	}
+	if err := n.pushed.ForEach(collect); err != nil {
+		return nil, err
+	}
+	avc := &split.NumericAVC{
+		Values: make([]float64, 0, len(m)),
+		Counts: make([][]int64, 0, len(m)),
+	}
+	for v := range m {
+		avc.Values = append(avc.Values, v)
+	}
+	sort.Float64s(avc.Values)
+	for _, v := range avc.Values {
+		avc.Counts = append(avc.Counts, m[v])
+	}
+	return avc, nil
+}
+
+// processLeaf finishes a leaf node: families above the main-memory switch
+// threshold are promoted to BOAT subtrees; in-memory families are either
+// left as leaves (StopAtThreshold, the paper's performance-experiment
+// methodology) or completed with the main-memory algorithm.
+func (t *Tree) processLeaf(n *bnode) error {
+	if !n.dirty {
+		return nil
+	}
+	total := n.total()
+	if t.cfg.StopThreshold > 0 && total > t.cfg.StopThreshold &&
+		(n.promoteAttempt == 0 || total >= n.promoteAttempt+n.promoteAttempt/4) {
+		fam := n.family
+		n.family = nil
+		attempt := total
+		if t.upd == nil {
+			t.buildStats.FrontierRebuilds++
+		} else {
+			t.upd.RebuiltSubtrees++
+		}
+		if err := t.finishNodeFromFamily(n, fam); err != nil {
+			return err
+		}
+		if n.isLeaf() {
+			// Promotion ended as a stored-family leaf (the bootstrap
+			// trees disagreed at this family's root); back off.
+			n.promoteAttempt = attempt
+		}
+		return nil
+	}
+	n.dirty = false
+	if t.cfg.StopAtThreshold && total <= t.cfg.StopThreshold {
+		n.subtree = nil
+		return nil
+	}
+	// In-memory (re)fit: full completion in non-stop mode, or the exact
+	// above-threshold subtree of a fat leaf in stop mode (the growth
+	// rules include the stop threshold, so the subtree matches the
+	// reference either way).
+	tuples, err := n.family.Materialize()
+	if err != nil {
+		return fmt.Errorf("core: materializing leaf family: %w", err)
+	}
+	sub := inmem.Build(t.schema, tuples, t.cfg.growConfig(n.depth))
+	n.subtree = sub.Root
+	if t.upd == nil {
+		t.buildStats.InMemoryLeaves++
+	} else {
+		t.upd.RefittedLeaves++
+	}
+	if n.family.PendingRemovals() > 0 && n.family.PendingRemovals()*2 > n.family.Len() {
+		return n.family.Compact()
+	}
+	return nil
+}
+
+func (t *Tree) noteFailure() {
+	if t.upd == nil {
+		t.buildStats.FailedNodes++
+	} else {
+		t.upd.RebuiltSubtrees++
+	}
+}

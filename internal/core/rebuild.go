@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/split"
+)
+
+// rebuildFromSubtree discards a node whose coarse splitting criterion
+// failed verification and rebuilds its subtree from the node's family F_n
+// (Section 3.5): the family is gathered from the buffers already stored in
+// the subtree — the not-yet-pushed stuck sets and the stored leaf
+// families — which is the "additional scan over subsets of the data" the
+// paper refers to; no scan of the original training database is needed.
+func (t *Tree) rebuildFromSubtree(n *bnode) error {
+	fam := data.NewTupleBag(t.schema, t.cfg.TempDir, t.budget, t.cfg.Stats)
+	if err := gatherFamily(n, fam); err != nil {
+		fam.Close()
+		return fmt.Errorf("core: gathering family for rebuild: %w", err)
+	}
+	t.noteRebuildTuples(fam.Len())
+	counts := make([]int64, len(n.classCounts))
+	copy(counts, n.classCounts)
+	releaseNodeState(n)
+	n.classCounts = counts
+	return t.finishNodeFromFamily(n, fam)
+}
+
+// demoteToLeaf converts an internal node into a leaf because the reference
+// stopping rules say so (the family became pure or too small, typically
+// after deletions).
+func (t *Tree) demoteToLeaf(n *bnode) error {
+	fam := data.NewTupleBag(t.schema, t.cfg.TempDir, t.budget, t.cfg.Stats)
+	if err := gatherFamily(n, fam); err != nil {
+		fam.Close()
+		return fmt.Errorf("core: gathering family for demotion: %w", err)
+	}
+	counts := make([]int64, len(n.classCounts))
+	copy(counts, n.classCounts)
+	releaseNodeState(n)
+	n.classCounts = counts
+	n.leaf = true
+	n.family = fam
+	n.dirty = true
+	return t.processLeaf(n)
+}
+
+// gatherFamily streams F_n into fam: the stored families of the leaves of
+// the subtree plus any stuck tuples not yet pushed down. Pushed stuck sets
+// are skipped — their tuples already live in buffers further down.
+func gatherFamily(n *bnode, fam *data.TupleBag) error {
+	if n == nil {
+		return nil
+	}
+	if n.isLeaf() {
+		return n.family.ForEach(fam.Add)
+	}
+	if n.pending != nil && n.pending.Len() > 0 {
+		if err := n.pending.ForEach(fam.Add); err != nil {
+			return err
+		}
+	}
+	if err := gatherFamily(n.left, fam); err != nil {
+		return err
+	}
+	return gatherFamily(n.right, fam)
+}
+
+// releaseNodeState closes every buffer in the subtree rooted at n and
+// clears n's per-node state, leaving n ready to be repurposed.
+func releaseNodeState(n *bnode) {
+	closeSubtree(n.left)
+	closeSubtree(n.right)
+	if n.pending != nil {
+		n.pending.Close()
+	}
+	if n.pushed != nil {
+		n.pushed.Close()
+	}
+	if n.family != nil {
+		n.family.Close()
+	}
+	n.left, n.right = nil, nil
+	n.coarse = nil
+	n.crit = split.Split{}
+	n.catCounts = nil
+	n.hist = nil
+	n.moments = nil
+	n.lowCounts, n.highCounts = nil, nil
+	n.eqLow = 0
+	n.pending, n.pushed = nil, nil
+	n.routedThr = 0
+	n.leaf = false
+	n.family = nil
+	n.subtree = nil
+	n.dirty = false
+	n.promoteAttempt = 0
+}
+
+// finishNodeFromFamily installs the correct subtree at n given its
+// complete family. Families above the main-memory threshold are rebuilt by
+// a recursive BOAT invocation over the buffered family (bounded by
+// MaxRebuildRecursion); everything else becomes a stored-family leaf,
+// completed in memory by processLeaf.
+func (t *Tree) finishNodeFromFamily(n *bnode, fam *data.TupleBag) error {
+	total := fam.Len()
+	if t.cfg.StopThreshold > 0 && total > t.cfg.StopThreshold &&
+		t.rebuildDepth < t.cfg.MaxRebuildRecursion {
+		t.rebuildDepth++
+		t.seedCounter++
+		rng := rand.New(rand.NewSource(t.cfg.Seed + 7919*t.seedCounter))
+		sample, err := data.ReservoirSample(fam.Source(), t.cfg.SampleSize, rng)
+		if err == nil {
+			var sub *bnode
+			sub, err = t.buildFromSample(fam.Source(), sample, total, n.depth)
+			if err == nil {
+				t.rebuildDepth--
+				fam.Close()
+				*n = *sub
+				return nil
+			}
+		}
+		t.rebuildDepth--
+		return err
+	}
+	// Main-memory path: the node keeps its family as a stored-family
+	// leaf. Small families in stop mode stay labeled leaves; everything
+	// else (including oversized families that exhausted the recursion
+	// budget — the rare pathological case the paper notes) is grown with
+	// the main-memory algorithm, whose stopping rules include the stop
+	// threshold, so the result still matches the reference exactly.
+	counts := make([]int64, t.schema.ClassCount)
+	if err := fam.ForEach(func(tp data.Tuple) error {
+		counts[tp.Class]++
+		return nil
+	}); err != nil {
+		return err
+	}
+	n.leaf = true
+	n.family = fam
+	n.classCounts = counts
+	n.dirty = false
+	n.subtree = nil
+	if t.cfg.StopAtThreshold && total <= t.cfg.StopThreshold {
+		return nil
+	}
+	tuples, err := fam.Materialize()
+	if err != nil {
+		return err
+	}
+	n.subtree = inmem.Build(t.schema, tuples, t.cfg.growConfig(n.depth)).Root
+	if t.upd == nil {
+		t.buildStats.InMemoryLeaves++
+	} else {
+		t.upd.RefittedLeaves++
+	}
+	return nil
+}

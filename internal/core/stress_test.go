@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/split"
+)
+
+// TestRandomOperationSequences is the strongest maintenance stress test:
+// random schemas, random planted concepts, and random interleavings of
+// insert and delete chunks (including deletes of partial chunks and
+// re-inserts of previously deleted data). After every operation the
+// maintained tree must equal a from-scratch reference build on the
+// current multiset, and the internal invariants must hold.
+func TestRandomOperationSequences(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			schema, base := randomDataset(rng)
+			method := split.Method(split.NewGini())
+			if seed%3 == 1 {
+				method = split.NewQuestLike()
+			} else if seed%3 == 2 {
+				method = split.NewEntropy()
+			}
+			maxDepth := 3 + rng.Intn(2)
+			g := inmem.Config{Method: method, MaxDepth: maxDepth, MinSplit: 10}
+			cfg := Config{
+				Method: method, MaxDepth: maxDepth, MinSplit: 10,
+				SampleSize: len(base)/3 + 10, BootstrapTrees: 8, Seed: seed,
+			}
+			if rng.Intn(2) == 0 {
+				cfg.MemBudgetTuples = int64(len(base) / 4)
+				cfg.TempDir = t.TempDir()
+			}
+			bt, err := Build(data.NewMemSource(schema, base), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bt.Close()
+
+			current := data.CloneTuples(base)
+			var chunks [][]data.Tuple // insert history available for deletion
+			chunks = append(chunks, data.CloneTuples(base))
+
+			for op := 0; op < 10; op++ {
+				if rng.Intn(3) > 0 || len(chunks) == 0 || len(current) < 50 {
+					// Insert a fresh chunk drawn from a (possibly
+					// different) random concept over the same schema.
+					rng2 := rand.New(rand.NewSource(seed*100 + int64(op)))
+					_, chunk := randomDatasetWithSchema(rng2, schema)
+					if _, err := bt.Insert(data.NewMemSource(schema, chunk)); err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					current = append(current, data.CloneTuples(chunk)...)
+					chunks = append(chunks, chunk)
+				} else {
+					// Delete a previously inserted chunk (possibly just a
+					// prefix of it).
+					idx := rng.Intn(len(chunks))
+					victim := chunks[idx]
+					n := len(victim)
+					if rng.Intn(2) == 0 && n > 2 {
+						n = 1 + rng.Intn(n-1)
+					}
+					expired := victim[:n]
+					if _, err := bt.Delete(data.NewMemSource(schema, expired)); err != nil {
+						t.Fatalf("op %d delete: %v", op, err)
+					}
+					current = subtract(current, expired)
+					if n == len(victim) {
+						chunks = append(chunks[:idx], chunks[idx+1:]...)
+					} else {
+						chunks[idx] = victim[n:]
+					}
+				}
+				ref := inmem.Build(schema, data.CloneTuples(current), g)
+				got := bt.Tree()
+				if !got.Equal(ref) {
+					t.Fatalf("op %d (%s, %d tuples): %s", op, method.Name(), len(current), got.Diff(ref))
+				}
+				if err := bt.CheckConsistency(); err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+			}
+		})
+	}
+}
+
+// randomDatasetWithSchema draws a dataset over an existing schema with a
+// random planted concept.
+func randomDatasetWithSchema(rng *rand.Rand, schema *data.Schema) (*data.Schema, []data.Tuple) {
+	n := 200 + rng.Intn(800)
+	domain := 5 + rng.Intn(40)
+	pivot := float64(rng.Intn(domain))
+	numIdx := schema.NumericIndexes()
+	catIdx := schema.CategoricalIndexes()
+	tuples := make([]data.Tuple, n)
+	for i := range tuples {
+		vals := make([]float64, schema.NumAttrs())
+		for a, at := range schema.Attributes {
+			if at.Kind == data.Numeric {
+				vals[a] = float64(rng.Intn(domain))
+			} else {
+				vals[a] = float64(rng.Intn(at.Cardinality))
+			}
+		}
+		class := 0
+		if len(numIdx) > 0 && vals[numIdx[0]] > pivot {
+			class = 1
+		}
+		if len(catIdx) > 0 && int(vals[catIdx[0]])%2 == 1 {
+			class = (class + 1) % schema.ClassCount
+		}
+		if rng.Float64() < 0.15 {
+			class = rng.Intn(schema.ClassCount)
+		}
+		tuples[i] = data.Tuple{Values: vals, Class: class}
+	}
+	return schema, tuples
+}

@@ -1,0 +1,181 @@
+package data
+
+import (
+	"fmt"
+	"io"
+)
+
+// TupleBag is a multiset of tuples supporting additions and deletions, with
+// the additions held in a SpillBuffer (budgeted memory, temp-file
+// overflow) and deletions tracked as a pending-removal multiset that is
+// subtracted lazily on iteration.
+//
+// BOAT uses bags for the sets S_n of tuples stuck inside confidence
+// intervals and for the stored families of leaf nodes; the deletion side
+// implements the paper's dynamic environment where expired chunks are
+// removed from the training dataset (Section 4).
+type TupleBag struct {
+	add      *SpillBuffer
+	removals map[string]int64
+	removed  int64
+}
+
+// NewTupleBag creates an empty bag; parameters as NewSpillBuffer.
+func NewTupleBag(schema *Schema, dir string, budget *MemBudget, rec SpillRecorder) *TupleBag {
+	return &TupleBag{add: NewSpillBuffer(schema, dir, budget, rec)}
+}
+
+// Schema returns the bag's schema.
+func (b *TupleBag) Schema() *Schema { return b.add.Schema() }
+
+// Len returns the net multiplicity-weighted size.
+func (b *TupleBag) Len() int64 { return b.add.Len() - b.removed }
+
+// PendingRemovals returns the number of queued deletions.
+func (b *TupleBag) PendingRemovals() int64 { return b.removed }
+
+// Add clones t into the bag. If a removal of an identical tuple is pending,
+// the two cancel out.
+func (b *TupleBag) Add(t Tuple) error {
+	if b.removed > 0 {
+		k := t.Key()
+		if c, ok := b.removals[k]; ok {
+			if c == 1 {
+				delete(b.removals, k)
+			} else {
+				b.removals[k] = c - 1
+			}
+			b.removed--
+			return nil
+		}
+	}
+	return b.add.Append(t)
+}
+
+// Remove queues the deletion of one occurrence of t. The occurrence must
+// exist; a dangling removal is detected (and reported as an error) by the
+// next ForEach/Materialize/Compact.
+func (b *TupleBag) Remove(t Tuple) error {
+	if b.removals == nil {
+		b.removals = make(map[string]int64)
+	}
+	b.removals[t.Key()]++
+	b.removed++
+	return nil
+}
+
+// ForEach iterates the net content of the bag (additions minus removals).
+// Tuples passed to fn are only valid during the call.
+func (b *TupleBag) ForEach(fn func(Tuple) error) error {
+	var pending map[string]int64
+	left := b.removed
+	if left > 0 {
+		pending = make(map[string]int64, len(b.removals))
+		for k, v := range b.removals {
+			pending[k] = v
+		}
+	}
+	sc, err := b.add.Scan()
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, t := range batch {
+			if left > 0 {
+				k := t.Key()
+				if c, ok := pending[k]; ok {
+					if c == 1 {
+						delete(pending, k)
+					} else {
+						pending[k] = c - 1
+					}
+					left--
+					continue
+				}
+			}
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+	}
+	if left > 0 {
+		return fmt.Errorf("data: %d removal(s) did not match any tuple in the bag", left)
+	}
+	return nil
+}
+
+// Materialize returns deep copies of the bag's net content.
+func (b *TupleBag) Materialize() ([]Tuple, error) {
+	out := make([]Tuple, 0, b.Len())
+	err := b.ForEach(func(t Tuple) error {
+		out = append(out, t.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compact rewrites the bag so pending removals are applied physically.
+// Call it when the removal backlog grows large.
+func (b *TupleBag) Compact() error {
+	if b.removed == 0 {
+		return nil
+	}
+	fresh := NewSpillBuffer(b.add.schema, b.add.dir, b.add.budget, b.add.rec)
+	err := b.ForEach(fresh.Append)
+	if err != nil {
+		fresh.Close()
+		return err
+	}
+	b.add.Close()
+	b.add = fresh
+	b.removals = nil
+	b.removed = 0
+	return nil
+}
+
+// Reset empties the bag, keeping resources for reuse.
+func (b *TupleBag) Reset() error {
+	b.removals = nil
+	b.removed = 0
+	return b.add.Reset()
+}
+
+// Close releases all resources.
+func (b *TupleBag) Close() error {
+	b.removals = nil
+	b.removed = 0
+	return b.add.Close()
+}
+
+// Source returns a read-only Source view of the bag's net content.
+// The bag must not be mutated while scans of the view are open.
+func (b *TupleBag) Source() Source { return &bagSource{b} }
+
+type bagSource struct{ b *TupleBag }
+
+func (s *bagSource) Schema() *Schema      { return s.b.Schema() }
+func (s *bagSource) Count() (int64, bool) { return s.b.Len(), true }
+
+func (s *bagSource) Scan() (Scanner, error) {
+	// Bags with no pending removals can stream straight from the buffer;
+	// otherwise materialize through the removal filter.
+	if s.b.removed == 0 {
+		return s.b.add.Scan()
+	}
+	ts, err := s.b.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return &memScanner{tuples: ts}, nil
+}

@@ -1,0 +1,231 @@
+package data
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CSV import with schema inference, for training on real-world datasets:
+// columns whose values all parse as numbers become numeric attributes;
+// other columns become categorical attributes with a deterministic
+// string-to-code dictionary (codes assigned in sorted value order). One
+// column is the class label.
+
+// CSVOptions controls parsing and inference.
+type CSVOptions struct {
+	// HasHeader consumes the first row as attribute names (otherwise
+	// columns are named col0, col1, ...).
+	HasHeader bool
+	// ClassColumn selects the class-label column, 1-based; 0 (the zero
+	// value) selects the last column — the common layout.
+	ClassColumn int
+	// Comma is the field separator (0 = ',').
+	Comma rune
+	// MaxCardinality bounds inferred categorical domains (0 =
+	// data.MaxCardinality). Columns exceeding it fail with an error
+	// rather than silently truncating.
+	MaxCardinality int
+}
+
+// CSVDataset is the parsed result: a validated schema, the tuples, and
+// the dictionaries needed to interpret categorical codes and class labels.
+type CSVDataset struct {
+	Schema *Schema
+	Tuples []Tuple
+	// AttrValues[i] maps categorical attribute i's codes back to the
+	// original strings (nil for numeric attributes).
+	AttrValues [][]string
+	// ClassNames maps class codes back to the original label strings.
+	ClassNames []string
+}
+
+// Source wraps the parsed tuples as a scannable training database.
+func (d *CSVDataset) Source() Source { return NewMemSource(d.Schema, d.Tuples) }
+
+// ClassCode resolves a label string.
+func (d *CSVDataset) ClassCode(name string) (int, bool) {
+	for i, n := range d.ClassNames {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ReadCSV parses CSV content from r.
+func ReadCSV(r io.Reader, opts CSVOptions) (*CSVDataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("data: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("data: csv: empty input")
+	}
+	var names []string
+	if opts.HasHeader {
+		names = rows[0]
+		rows = rows[1:]
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("data: csv: no data rows")
+	}
+	cols := len(rows[0])
+	if cols < 2 {
+		return nil, errors.New("data: csv: need at least one predictor column plus the class column")
+	}
+	for i, row := range rows {
+		if len(row) != cols {
+			return nil, fmt.Errorf("data: csv: row %d has %d fields, want %d", i+1, len(row), cols)
+		}
+	}
+	classCol := cols - 1
+	if opts.ClassColumn >= 1 {
+		if opts.ClassColumn > cols {
+			return nil, fmt.Errorf("data: csv: class column %d out of range (only %d columns)",
+				opts.ClassColumn, cols)
+		}
+		classCol = opts.ClassColumn - 1
+	}
+	maxCard := opts.MaxCardinality
+	if maxCard <= 0 || maxCard > MaxCardinality {
+		maxCard = MaxCardinality
+	}
+
+	// Infer column kinds. Non-finite parses (NaN, Inf) are treated as
+	// non-numeric so such columns fall back to categorical strings —
+	// finite values are an invariant of the whole pipeline.
+	isNumeric := func(s string) bool {
+		v, err := strconv.ParseFloat(s, 64)
+		return err == nil && !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	numeric := make([]bool, cols)
+	for c := 0; c < cols; c++ {
+		if c == classCol {
+			continue
+		}
+		numeric[c] = true
+		for _, row := range rows {
+			if !isNumeric(strings.TrimSpace(row[c])) {
+				numeric[c] = false
+				break
+			}
+		}
+	}
+
+	// Build dictionaries for categorical columns and the class, with
+	// codes in sorted string order (deterministic regardless of row
+	// order).
+	dict := func(c int, limit int, what string) (map[string]int, []string, error) {
+		set := map[string]bool{}
+		for _, row := range rows {
+			set[strings.TrimSpace(row[c])] = true
+		}
+		vals := make([]string, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		if len(vals) > limit {
+			return nil, nil, fmt.Errorf("data: csv: column %d (%s) has %d distinct values, limit %d",
+				c, what, len(vals), limit)
+		}
+		m := make(map[string]int, len(vals))
+		for i, v := range vals {
+			m[v] = i
+		}
+		return m, vals, nil
+	}
+
+	attrs := make([]Attribute, 0, cols-1)
+	attrValues := make([][]string, 0, cols-1)
+	catDicts := make([]map[string]int, cols)
+	colName := func(c int) string {
+		if names != nil && c < len(names) && strings.TrimSpace(names[c]) != "" {
+			return strings.TrimSpace(names[c])
+		}
+		return fmt.Sprintf("col%d", c)
+	}
+	for c := 0; c < cols; c++ {
+		if c == classCol {
+			continue
+		}
+		if numeric[c] {
+			attrs = append(attrs, Attribute{Name: colName(c), Kind: Numeric})
+			attrValues = append(attrValues, nil)
+			continue
+		}
+		m, vals, err := dict(c, maxCard, colName(c))
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) < 2 {
+			return nil, fmt.Errorf("data: csv: categorical column %q is constant", colName(c))
+		}
+		catDicts[c] = m
+		attrs = append(attrs, Attribute{Name: colName(c), Kind: Categorical, Cardinality: len(vals)})
+		attrValues = append(attrValues, vals)
+	}
+	classDict, classNames, err := dict(classCol, 1<<16, "class")
+	if err != nil {
+		return nil, err
+	}
+	if len(classNames) < 2 {
+		return nil, errors.New("data: csv: class column has fewer than two labels")
+	}
+	schema, err := NewSchema(attrs, len(classNames))
+	if err != nil {
+		return nil, err
+	}
+
+	tuples := make([]Tuple, len(rows))
+	backing := make([]float64, len(rows)*len(attrs))
+	for i, row := range rows {
+		vals := backing[i*len(attrs) : (i+1)*len(attrs)]
+		a := 0
+		for c := 0; c < cols; c++ {
+			if c == classCol {
+				continue
+			}
+			field := strings.TrimSpace(row[c])
+			if numeric[c] {
+				v, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("data: csv: row %d column %d: %w", i+1, c, err)
+				}
+				vals[a] = v
+			} else {
+				vals[a] = float64(catDicts[c][field])
+			}
+			a++
+		}
+		tuples[i] = Tuple{Values: vals, Class: classDict[strings.TrimSpace(row[classCol])]}
+	}
+	return &CSVDataset{
+		Schema:     schema,
+		Tuples:     tuples,
+		AttrValues: attrValues,
+		ClassNames: classNames,
+	}, nil
+}
+
+// ReadCSVFile parses a CSV file from disk.
+func ReadCSVFile(path string, opts CSVOptions) (*CSVDataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, opts)
+}

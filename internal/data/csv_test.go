@@ -1,0 +1,178 @@
+package data
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+const csvSample = `age,color,income,label
+25,red,50000,yes
+40,blue,60000,no
+31,red,52000,yes
+55,green,80000,no
+22,blue,20000,yes
+48,green,75000,no
+`
+
+func TestReadCSVInference(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader(csvSample), CSVOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Schema.NumAttrs() != 3 || ds.Schema.ClassCount != 2 {
+		t.Fatalf("schema: %d attrs %d classes", ds.Schema.NumAttrs(), ds.Schema.ClassCount)
+	}
+	a := ds.Schema.Attributes
+	if a[0].Name != "age" || a[0].Kind != Numeric {
+		t.Errorf("attr0 = %+v", a[0])
+	}
+	if a[1].Name != "color" || a[1].Kind != Categorical || a[1].Cardinality != 3 {
+		t.Errorf("attr1 = %+v", a[1])
+	}
+	if a[2].Name != "income" || a[2].Kind != Numeric {
+		t.Errorf("attr2 = %+v", a[2])
+	}
+	// Dictionaries are sorted: blue=0, green=1, red=2; no=0, yes=1.
+	if ds.AttrValues[1][0] != "blue" || ds.AttrValues[1][2] != "red" {
+		t.Errorf("color dictionary %v", ds.AttrValues[1])
+	}
+	if ds.ClassNames[0] != "no" || ds.ClassNames[1] != "yes" {
+		t.Errorf("class names %v", ds.ClassNames)
+	}
+	if len(ds.Tuples) != 6 {
+		t.Fatalf("%d tuples", len(ds.Tuples))
+	}
+	first := ds.Tuples[0]
+	if first.Values[0] != 25 || first.Values[1] != 2 /* red */ || first.Values[2] != 50000 {
+		t.Errorf("first tuple %v", first)
+	}
+	if code, ok := ds.ClassCode("yes"); !ok || first.Class != code {
+		t.Errorf("first class %d", first.Class)
+	}
+	for _, tp := range ds.Tuples {
+		if err := ds.Schema.CheckTuple(tp); err != nil {
+			t.Fatalf("invalid tuple: %v", err)
+		}
+	}
+	if n, _ := CountTuples(ds.Source()); n != 6 {
+		t.Errorf("source count %d", n)
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("1,a,x\n2,b,y\n3,a,x\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Schema.Attributes[0].Name != "col0" || ds.Schema.Attributes[1].Name != "col1" {
+		t.Errorf("default names: %+v", ds.Schema.Attributes)
+	}
+}
+
+func TestReadCSVClassColumn(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("yes,1,2\nno,3,4\n"), CSVOptions{ClassColumn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Schema.NumAttrs() != 2 || ds.Schema.ClassCount != 2 {
+		t.Fatalf("schema %+v", ds.Schema)
+	}
+	if ds.Tuples[0].Values[0] != 1 {
+		t.Errorf("first predictor %v", ds.Tuples[0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+		opts CSVOptions
+	}{
+		{"empty", "", CSVOptions{}},
+		{"header only", "a,b\n", CSVOptions{HasHeader: true}},
+		{"one column", "x\ny\n", CSVOptions{}},
+		{"ragged", "1,2\n1,2,3\n", CSVOptions{}},
+		{"single class", "1,x\n2,x\n", CSVOptions{}},
+		{"constant categorical", "a,1,x\na,2,y\n", CSVOptions{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.csv), tc.opts); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadCSVCardinalityLimit(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 70; i++ {
+		sb.WriteString(strings.Repeat("x", i+1))
+		sb.WriteString(",yes\n")
+		sb.WriteString(strings.Repeat("y", i+1))
+		sb.WriteString(",no\n")
+	}
+	if _, err := ReadCSV(strings.NewReader(sb.String()), CSVOptions{}); err == nil {
+		t.Error("over-cardinality categorical column accepted")
+	}
+}
+
+func TestReadCSVSemicolon(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("1;a;x\n2;b;y\n"), CSVOptions{Comma: ';'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Schema.NumAttrs() != 2 {
+		t.Errorf("schema %+v", ds.Schema)
+	}
+}
+
+func TestReadCSVFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/d.csv"
+	if err := writeFileString(path, csvSample); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadCSVFile(path, CSVOptions{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Tuples) != 6 {
+		t.Fatalf("%d tuples", len(ds.Tuples))
+	}
+	if _, err := ReadCSVFile(t.TempDir()+"/missing.csv", CSVOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func writeFileString(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestReadCSVNaNBecomesCategorical(t *testing.T) {
+	// A column containing "NaN" must not become a numeric attribute:
+	// non-finite values would break the ordering invariants downstream.
+	ds, err := ReadCSV(strings.NewReader("1,x\nNaN,y\n2,x\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Schema.Attributes[0].Kind != Categorical {
+		t.Errorf("NaN column inferred as %v", ds.Schema.Attributes[0].Kind)
+	}
+	for _, tp := range ds.Tuples {
+		if err := ds.Schema.CheckTuple(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckTupleRejectsNonFinite(t *testing.T) {
+	s := twoAttrSchema(t)
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, v := range bad {
+		if err := s.CheckTuple(Tuple{Values: []float64{v, 1}, Class: 0}); err == nil {
+			t.Errorf("non-finite value %v accepted", v)
+		}
+	}
+}

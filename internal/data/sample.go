@@ -1,0 +1,57 @@
+package data
+
+import (
+	"math/rand"
+)
+
+// ReservoirSample draws a uniform random sample of up to n tuples from src
+// in a single sequential scan (Vitter's algorithm R). If src holds fewer
+// than n tuples, all of them are returned. The returned tuples are deep
+// copies. The order of the returned sample is not meaningful.
+//
+// This is the paper's "obtain a large sample D' from D" primitive: it
+// works over any scannable source, including training databases defined by
+// queries that are never materialized.
+func ReservoirSample(src Source, n int, rng *rand.Rand) ([]Tuple, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	reservoir := make([]Tuple, 0, n)
+	var seen int64
+	err := ForEach(src, func(t Tuple) error {
+		seen++
+		if len(reservoir) < n {
+			reservoir = append(reservoir, t.Clone())
+			return nil
+		}
+		j := rng.Int63n(seen)
+		if j < int64(n) {
+			reservoir[j] = t.Clone()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reservoir, nil
+}
+
+// SampleWithReplacement draws n tuples uniformly with replacement from the
+// in-memory population. This implements the bootstrap resampling step of
+// the paper's sampling phase. The returned slice shares tuples with the
+// population (no copies: bootstrap consumers treat tuples as read-only).
+func SampleWithReplacement(population []Tuple, n int, rng *rand.Rand) []Tuple {
+	if len(population) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]Tuple, n)
+	for i := range out {
+		out[i] = population[rng.Intn(len(population))]
+	}
+	return out
+}
+
+// Shuffle permutes tuples in place.
+func Shuffle(ts []Tuple, rng *rand.Rand) {
+	rng.Shuffle(len(ts), func(i, j int) { ts[i], ts[j] = ts[j], ts[i] })
+}

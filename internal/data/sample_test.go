@@ -1,0 +1,121 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReservoirSampleSmallPopulation(t *testing.T) {
+	src := NewMemSource(twoAttrSchema(t), makeTuples(10))
+	got, err := ReservoirSample(src, 50, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("sample of undersized population has %d tuples, want all 10", len(got))
+	}
+}
+
+func TestReservoirSampleSize(t *testing.T) {
+	src := NewMemSource(twoAttrSchema(t), makeTuples(1000))
+	got, err := ReservoirSample(src, 100, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("sample size %d, want 100", len(got))
+	}
+	seen := map[float64]bool{}
+	for _, tp := range got {
+		if seen[tp.Values[0]] {
+			t.Fatalf("duplicate tuple %v in without-replacement sample", tp)
+		}
+		seen[tp.Values[0]] = true
+	}
+}
+
+func TestReservoirSampleUniformity(t *testing.T) {
+	// Each of 200 tuples should appear in a 20-tuple sample with
+	// probability 0.1; over 400 trials the per-tuple hit counts should be
+	// within a generous binomial tolerance.
+	const n, k, trials = 200, 20, 400
+	src := NewMemSource(twoAttrSchema(t), makeTuples(n))
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		got, err := ReservoirSample(src, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range got {
+			counts[int(tp.Values[0])]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n) // 40
+	sigma := math.Sqrt(float64(trials) * 0.1 * 0.9)   // ~6
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sigma {
+			t.Errorf("tuple %d sampled %d times, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestReservoirSampleEdge(t *testing.T) {
+	src := NewMemSource(twoAttrSchema(t), nil)
+	got, err := ReservoirSample(src, 10, rand.New(rand.NewSource(1)))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty population: got %d tuples, err %v", len(got), err)
+	}
+	got, err = ReservoirSample(src, 0, rand.New(rand.NewSource(1)))
+	if err != nil || got != nil {
+		t.Errorf("zero-size sample: got %v, err %v", got, err)
+	}
+}
+
+func TestSampleWithReplacement(t *testing.T) {
+	pop := makeTuples(10)
+	rng := rand.New(rand.NewSource(7))
+	got := SampleWithReplacement(pop, 1000, rng)
+	if len(got) != 1000 {
+		t.Fatalf("size %d", len(got))
+	}
+	// With 1000 draws from 10 items, every item should appear.
+	seen := map[float64]int{}
+	for _, tp := range got {
+		seen[tp.Values[0]]++
+	}
+	if len(seen) != 10 {
+		t.Errorf("only %d distinct items drawn", len(seen))
+	}
+	if SampleWithReplacement(nil, 5, rng) != nil {
+		t.Error("empty population should yield nil")
+	}
+	if SampleWithReplacement(pop, 0, rng) != nil {
+		t.Error("zero draw should yield nil")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	ts := makeTuples(100)
+	Shuffle(ts, rand.New(rand.NewSource(3)))
+	moved := 0
+	for i, tp := range ts {
+		if int(tp.Values[0]) != i {
+			moved++
+		}
+	}
+	if moved < 50 {
+		t.Errorf("shuffle moved only %d/100 tuples", moved)
+	}
+	// Multiset preserved.
+	seen := make([]bool, 100)
+	for _, tp := range ts {
+		seen[int(tp.Values[0])] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("tuple %d lost by shuffle", i)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoAttrSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema([]Attribute{
+		{Name: "x", Kind: Numeric},
+		{Name: "c", Kind: Categorical, Cardinality: 4},
+	}, 2)
+}
+
+func TestNewSchemaValid(t *testing.T) {
+	s, err := NewSchema([]Attribute{
+		{Name: "a", Kind: Numeric},
+		{Name: "b", Kind: Categorical, Cardinality: 2},
+	}, 3)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if s.NumAttrs() != 2 {
+		t.Errorf("NumAttrs = %d, want 2", s.NumAttrs())
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		attrs   []Attribute
+		classes int
+		wantSub string
+	}{
+		{"no attributes", nil, 2, "at least one"},
+		{"one class", []Attribute{{Name: "a", Kind: Numeric}}, 1, "two class"},
+		{"empty name", []Attribute{{Name: "", Kind: Numeric}}, 2, "empty name"},
+		{"duplicate name", []Attribute{{Name: "a", Kind: Numeric}, {Name: "a", Kind: Numeric}}, 2, "duplicate"},
+		{"cardinality low", []Attribute{{Name: "a", Kind: Categorical, Cardinality: 1}}, 2, "cardinality"},
+		{"cardinality high", []Attribute{{Name: "a", Kind: Categorical, Cardinality: 65}}, 2, "cardinality"},
+		{"bad kind", []Attribute{{Name: "a", Kind: Kind(9)}}, 2, "unknown kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSchema(tc.attrs, tc.classes)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestSchemaIndexes(t *testing.T) {
+	s := MustSchema([]Attribute{
+		{Name: "n1", Kind: Numeric},
+		{Name: "c1", Kind: Categorical, Cardinality: 3},
+		{Name: "n2", Kind: Numeric},
+		{Name: "c2", Kind: Categorical, Cardinality: 5},
+	}, 2)
+	num := s.NumericIndexes()
+	if len(num) != 2 || num[0] != 0 || num[1] != 2 {
+		t.Errorf("NumericIndexes = %v", num)
+	}
+	cat := s.CategoricalIndexes()
+	if len(cat) != 2 || cat[0] != 1 || cat[1] != 3 {
+		t.Errorf("CategoricalIndexes = %v", cat)
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := twoAttrSchema(t)
+	b := twoAttrSchema(t)
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	c := MustSchema([]Attribute{
+		{Name: "x", Kind: Numeric},
+		{Name: "c", Kind: Categorical, Cardinality: 5},
+	}, 2)
+	if a.Equal(c) {
+		t.Error("schemas with different cardinalities reported Equal")
+	}
+	d := MustSchema([]Attribute{
+		{Name: "x", Kind: Numeric},
+		{Name: "c", Kind: Categorical, Cardinality: 4},
+	}, 3)
+	if a.Equal(d) {
+		t.Error("schemas with different class counts reported Equal")
+	}
+	if a.Equal(nil) {
+		t.Error("schema Equal(nil) = true")
+	}
+}
+
+func TestCheckTuple(t *testing.T) {
+	s := twoAttrSchema(t)
+	good := Tuple{Values: []float64{1.5, 2}, Class: 1}
+	if err := s.CheckTuple(good); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		tp   Tuple
+	}{
+		{"wrong arity", Tuple{Values: []float64{1}, Class: 0}},
+		{"class high", Tuple{Values: []float64{1, 2}, Class: 2}},
+		{"class negative", Tuple{Values: []float64{1, 2}, Class: -1}},
+		{"cat code high", Tuple{Values: []float64{1, 4}, Class: 0}},
+		{"cat code fractional", Tuple{Values: []float64{1, 1.5}, Class: 0}},
+		{"cat code negative", Tuple{Values: []float64{1, -1}, Class: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := s.CheckTuple(tc.tp); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Numeric.String() != "numeric" || Categorical.String() != "categorical" {
+		t.Error("kind names wrong")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,224 @@
+package data
+
+import (
+	"errors"
+	"io"
+)
+
+// Scanner iterates a dataset sequentially in batches. The tuples returned
+// by Next (including their Values slices) are only valid until the
+// following Next call; callers that retain tuples must Clone them.
+// Next returns (nil, io.EOF) once the scan is exhausted.
+type Scanner interface {
+	Next() ([]Tuple, error)
+	Close() error
+}
+
+// Source is a scannable training database. A Source may be scanned any
+// number of times; each Scan starts a fresh sequential pass, modeling one
+// scan over the training database D in the paper's cost accounting.
+type Source interface {
+	// Schema describes the tuples produced by this source.
+	Schema() *Schema
+	// Scan begins a new sequential scan.
+	Scan() (Scanner, error)
+	// Count returns the number of tuples if known without scanning.
+	Count() (n int64, known bool)
+}
+
+// DefaultBatchSize is the number of tuples per Scanner batch used by the
+// built-in sources.
+const DefaultBatchSize = 1024
+
+// ---------------------------------------------------------------------------
+// In-memory source
+
+// MemSource is an in-memory Source backed by a tuple slice. The slice is
+// not copied; callers must not mutate it while scans are active.
+type MemSource struct {
+	schema *Schema
+	tuples []Tuple
+}
+
+// NewMemSource wraps tuples as a Source.
+func NewMemSource(schema *Schema, tuples []Tuple) *MemSource {
+	return &MemSource{schema: schema, tuples: tuples}
+}
+
+// Schema implements Source.
+func (m *MemSource) Schema() *Schema { return m.schema }
+
+// Count implements Source.
+func (m *MemSource) Count() (int64, bool) { return int64(len(m.tuples)), true }
+
+// Tuples exposes the backing slice (read-only by convention).
+func (m *MemSource) Tuples() []Tuple { return m.tuples }
+
+// Scan implements Source.
+func (m *MemSource) Scan() (Scanner, error) {
+	return &memScanner{tuples: m.tuples}, nil
+}
+
+type memScanner struct {
+	tuples []Tuple
+	pos    int
+}
+
+func (s *memScanner) Next() ([]Tuple, error) {
+	if s.pos >= len(s.tuples) {
+		return nil, io.EOF
+	}
+	end := s.pos + DefaultBatchSize
+	if end > len(s.tuples) {
+		end = len(s.tuples)
+	}
+	batch := s.tuples[s.pos:end]
+	s.pos = end
+	return batch, nil
+}
+
+func (s *memScanner) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+// ForEach scans src once, invoking fn for every tuple. The tuple passed to
+// fn is only valid during the call.
+func ForEach(src Source, fn func(Tuple) error) error {
+	sc, err := src.Scan()
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	for {
+		batch, err := sc.Next()
+		if err == io.EOF {
+			return sc.Close()
+		}
+		if err != nil {
+			sc.Close()
+			return err
+		}
+		for _, t := range batch {
+			if err := fn(t); err != nil {
+				sc.Close()
+				return err
+			}
+		}
+	}
+}
+
+// ReadAll scans src once and returns deep copies of all tuples.
+func ReadAll(src Source) ([]Tuple, error) {
+	var out []Tuple
+	if n, ok := src.Count(); ok {
+		out = make([]Tuple, 0, n)
+	}
+	err := ForEach(src, func(t Tuple) error {
+		out = append(out, t.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CountTuples scans src if necessary to determine its cardinality.
+func CountTuples(src Source) (int64, error) {
+	if n, ok := src.Count(); ok {
+		return n, nil
+	}
+	var n int64
+	err := ForEach(src, func(Tuple) error { n++; return nil })
+	return n, err
+}
+
+// ErrSchemaMismatch is returned when a tuple stream does not match the
+// expected schema.
+var ErrSchemaMismatch = errors.New("data: schema mismatch")
+
+// ConcatSource presents several sources with identical schemas as one
+// logical dataset, scanned back to back. It is used to model a training
+// database combined with newly arrived chunks without materializing the
+// union.
+type ConcatSource struct {
+	schema *Schema
+	parts  []Source
+}
+
+// NewConcatSource validates that all parts share a schema and returns the
+// concatenation. At least one part is required.
+func NewConcatSource(parts ...Source) (*ConcatSource, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("data: concat of zero sources")
+	}
+	s := parts[0].Schema()
+	for _, p := range parts[1:] {
+		if !s.Equal(p.Schema()) {
+			return nil, ErrSchemaMismatch
+		}
+	}
+	return &ConcatSource{schema: s, parts: parts}, nil
+}
+
+// Schema implements Source.
+func (c *ConcatSource) Schema() *Schema { return c.schema }
+
+// Count implements Source.
+func (c *ConcatSource) Count() (int64, bool) {
+	var total int64
+	for _, p := range c.parts {
+		n, ok := p.Count()
+		if !ok {
+			return 0, false
+		}
+		total += n
+	}
+	return total, true
+}
+
+// Scan implements Source.
+func (c *ConcatSource) Scan() (Scanner, error) {
+	return &concatScanner{parts: c.parts}, nil
+}
+
+type concatScanner struct {
+	parts []Source
+	idx   int
+	cur   Scanner
+}
+
+func (s *concatScanner) Next() ([]Tuple, error) {
+	for {
+		if s.cur == nil {
+			if s.idx >= len(s.parts) {
+				return nil, io.EOF
+			}
+			cur, err := s.parts[s.idx].Scan()
+			if err != nil {
+				return nil, err
+			}
+			s.cur = cur
+			s.idx++
+		}
+		batch, err := s.cur.Next()
+		if err == io.EOF {
+			if cerr := s.cur.Close(); cerr != nil {
+				return nil, cerr
+			}
+			s.cur = nil
+			continue
+		}
+		return batch, err
+	}
+}
+
+func (s *concatScanner) Close() error {
+	if s.cur != nil {
+		err := s.cur.Close()
+		s.cur = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package data
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SpillRecorder receives accounting callbacks when a buffer overflows its
+// memory budget and writes tuples to temporary storage. iostats.Stats
+// implements it.
+type SpillRecorder interface {
+	RecordSpill(tuples, bytes int64)
+}
+
+// MemBudget is a shared in-memory tuple budget. Spill buffers attached to
+// the same budget collectively hold at most Limit tuples in memory; beyond
+// that they overflow to temporary files. A nil *MemBudget means unlimited
+// memory. The zero Limit also means unlimited.
+//
+// This models the paper's low run-time memory requirement: the sets S_n of
+// tuples inside the confidence intervals are kept in memory when possible
+// and written to temporary files otherwise (Section 3.3).
+type MemBudget struct {
+	Limit int64
+	used  int64
+}
+
+// NewMemBudget returns a budget of limit tuples (0 = unlimited).
+func NewMemBudget(limit int64) *MemBudget { return &MemBudget{Limit: limit} }
+
+func (b *MemBudget) tryAcquire(n int64) bool {
+	if b == nil || b.Limit <= 0 {
+		return true
+	}
+	if b.used+n > b.Limit {
+		return false
+	}
+	b.used += n
+	return true
+}
+
+func (b *MemBudget) release(n int64) {
+	if b == nil || b.Limit <= 0 {
+		return
+	}
+	b.used -= n
+	if b.used < 0 {
+		b.used = 0
+	}
+}
+
+// Used returns the tuples currently held in memory against the budget.
+func (b *MemBudget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used
+}
+
+// SpillBuffer accumulates tuples in memory up to a shared budget and spills
+// the overflow to a temporary file. It implements Source, so a spilled
+// buffer can be scanned (and even used as the training database of a
+// recursive BOAT invocation).
+type SpillBuffer struct {
+	schema  *Schema
+	budget  *MemBudget
+	rec     SpillRecorder
+	dir     string
+	mem     []Tuple
+	file    *os.File
+	w       *bufio.Writer
+	encBuf  []byte
+	spilled int64
+	closed  bool
+}
+
+// NewSpillBuffer creates an empty buffer. dir is the directory for the
+// temporary overflow file ("" = os.TempDir()); budget and rec may be nil.
+func NewSpillBuffer(schema *Schema, dir string, budget *MemBudget, rec SpillRecorder) *SpillBuffer {
+	return &SpillBuffer{schema: schema, budget: budget, rec: rec, dir: dir}
+}
+
+// Schema implements Source.
+func (sb *SpillBuffer) Schema() *Schema { return sb.schema }
+
+// Count implements Source.
+func (sb *SpillBuffer) Count() (int64, bool) { return sb.Len(), true }
+
+// Len returns the number of buffered tuples.
+func (sb *SpillBuffer) Len() int64 { return int64(len(sb.mem)) + sb.spilled }
+
+// SpilledTuples returns how many tuples live in the overflow file.
+func (sb *SpillBuffer) SpilledTuples() int64 { return sb.spilled }
+
+// Append clones t into the buffer.
+func (sb *SpillBuffer) Append(t Tuple) error {
+	if sb.closed {
+		return errors.New("data: append to closed spill buffer")
+	}
+	if len(t.Values) != len(sb.schema.Attributes) {
+		return ErrSchemaMismatch
+	}
+	if sb.file == nil && sb.budget.tryAcquire(1) {
+		sb.mem = append(sb.mem, t.Clone())
+		return nil
+	}
+	return sb.spill(t)
+}
+
+func (sb *SpillBuffer) spill(t Tuple) error {
+	if sb.file == nil {
+		f, err := os.CreateTemp(sb.dir, "boat-spill-*.tmp")
+		if err != nil {
+			return fmt.Errorf("data: creating spill file: %w", err)
+		}
+		sb.file = f
+		sb.w = bufio.NewWriterSize(f, 1<<16)
+	}
+	sb.encBuf = encodeTuple(sb.encBuf[:0], FormatWide, t)
+	if _, err := sb.w.Write(sb.encBuf); err != nil {
+		return err
+	}
+	sb.spilled++
+	if sb.rec != nil {
+		sb.rec.RecordSpill(1, int64(len(sb.encBuf)))
+	}
+	return nil
+}
+
+// Scan implements Source: iterates the in-memory part then the spilled
+// part. The buffer must not be appended to while a scan is open.
+func (sb *SpillBuffer) Scan() (Scanner, error) {
+	if sb.closed {
+		return nil, errors.New("data: scan of closed spill buffer")
+	}
+	var fsc *fileScanner
+	if sb.file != nil {
+		if err := sb.w.Flush(); err != nil {
+			return nil, err
+		}
+		f, err := os.Open(sb.file.Name())
+		if err != nil {
+			return nil, err
+		}
+		fsc = &fileScanner{
+			f:         f,
+			r:         bufio.NewReaderSize(f, 1<<18),
+			format:    FormatWide,
+			tupleSize: FormatWide.TupleSize(sb.schema),
+			remaining: sb.spilled,
+		}
+		fsc.alloc(len(sb.schema.Attributes))
+	}
+	return &spillScanner{mem: &memScanner{tuples: sb.mem}, file: fsc}, nil
+}
+
+type spillScanner struct {
+	mem  *memScanner
+	file *fileScanner
+}
+
+func (s *spillScanner) Next() ([]Tuple, error) {
+	if s.mem != nil {
+		batch, err := s.mem.Next()
+		if err == nil {
+			return batch, nil
+		}
+		if err != io.EOF {
+			return nil, err
+		}
+		s.mem = nil
+	}
+	if s.file != nil {
+		return s.file.Next()
+	}
+	return nil, io.EOF
+}
+
+func (s *spillScanner) Close() error {
+	if s.file != nil {
+		err := s.file.Close()
+		s.file = nil
+		return err
+	}
+	return nil
+}
+
+// Reset discards the contents, releasing memory budget and truncating the
+// overflow file (which is kept open for reuse).
+func (sb *SpillBuffer) Reset() error {
+	sb.budget.release(int64(len(sb.mem)))
+	sb.mem = nil
+	if sb.file != nil {
+		sb.w.Reset(sb.file)
+		if err := sb.file.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := sb.file.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+	}
+	sb.spilled = 0
+	return nil
+}
+
+// Close releases all resources including the overflow file.
+func (sb *SpillBuffer) Close() error {
+	if sb.closed {
+		return nil
+	}
+	sb.closed = true
+	sb.budget.release(int64(len(sb.mem)))
+	sb.mem = nil
+	if sb.file != nil {
+		name := sb.file.Name()
+		sb.file.Close()
+		sb.file = nil
+		return os.Remove(name)
+	}
+	return nil
+}

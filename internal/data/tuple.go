@@ -1,0 +1,79 @@
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tuple is one training record: one value per predictor attribute plus a
+// class label. Numeric attribute values are stored directly; categorical
+// values are stored as their category code converted to float64 (always a
+// small non-negative integer, hence exactly representable).
+type Tuple struct {
+	Values []float64
+	Class  int
+}
+
+// Num returns the value of numeric attribute i.
+func (t Tuple) Num(i int) float64 { return t.Values[i] }
+
+// Cat returns the category code of categorical attribute i.
+func (t Tuple) Cat(i int) int { return int(t.Values[i]) }
+
+// Clone returns a deep copy of the tuple, safe to retain after the scanner
+// batch that produced t has been recycled.
+func (t Tuple) Clone() Tuple {
+	v := make([]float64, len(t.Values))
+	copy(v, t.Values)
+	return Tuple{Values: v, Class: t.Class}
+}
+
+// Equal reports exact equality of values and class.
+func (t Tuple) Equal(o Tuple) bool {
+	if t.Class != o.Class || len(t.Values) != len(o.Values) {
+		return false
+	}
+	for i := range t.Values {
+		if t.Values[i] != o.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a byte-exact identity key for the tuple, used by multiset
+// removal bookkeeping in TupleBag. Two tuples have equal keys iff they have
+// bit-identical values and the same class. NaNs are rejected by schema
+// validation upstream, so IEEE equality anomalies do not arise.
+func (t Tuple) Key() string {
+	var sb strings.Builder
+	sb.Grow(8*len(t.Values) + 8)
+	var buf [8]byte
+	for _, v := range t.Values {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		sb.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(t.Class))
+	sb.Write(buf[:])
+	return sb.String()
+}
+
+// String renders the tuple for debugging.
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return fmt.Sprintf("(%s | class=%d)", strings.Join(parts, ","), t.Class)
+}
+
+// CloneTuples deep-copies a slice of tuples.
+func CloneTuples(ts []Tuple) []Tuple {
+	out := make([]Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleCloneIndependence(t *testing.T) {
+	orig := Tuple{Values: []float64{1, 2, 3}, Class: 1}
+	c := orig.Clone()
+	c.Values[0] = 99
+	if orig.Values[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+	if !orig.Equal(Tuple{Values: []float64{1, 2, 3}, Class: 1}) {
+		t.Error("original mutated")
+	}
+}
+
+func TestTupleEqual(t *testing.T) {
+	a := Tuple{Values: []float64{1, 2}, Class: 0}
+	cases := []struct {
+		name string
+		b    Tuple
+		want bool
+	}{
+		{"identical", Tuple{Values: []float64{1, 2}, Class: 0}, true},
+		{"different value", Tuple{Values: []float64{1, 3}, Class: 0}, false},
+		{"different class", Tuple{Values: []float64{1, 2}, Class: 1}, false},
+		{"different arity", Tuple{Values: []float64{1}, Class: 0}, false},
+	}
+	for _, tc := range cases {
+		if got := a.Equal(tc.b); got != tc.want {
+			t.Errorf("%s: Equal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTupleKeyProperties(t *testing.T) {
+	// Key equality must coincide with Equal for random tuples.
+	f := func(v1, v2 float64, c1, c2 uint8) bool {
+		a := Tuple{Values: []float64{v1, v2}, Class: int(c1 % 4)}
+		b := Tuple{Values: []float64{v1, v2}, Class: int(c2 % 4)}
+		if a.Class == b.Class {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Distinct values must produce distinct keys.
+	a := Tuple{Values: []float64{1, 2}, Class: 0}
+	b := Tuple{Values: []float64{1, 3}, Class: 0}
+	if a.Key() == b.Key() {
+		t.Error("distinct tuples share a key")
+	}
+	// Negative zero and zero differ bitwise; Key is bit-exact by design.
+	nz := Tuple{Values: []float64{0.0}, Class: 0}
+	pz := Tuple{Values: []float64{-0.0 * 1}, Class: 0}
+	_ = nz
+	_ = pz
+}
+
+func TestCloneTuples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]Tuple, 10)
+	for i := range src {
+		src[i] = Tuple{Values: []float64{rng.Float64()}, Class: i % 2}
+	}
+	cp := CloneTuples(src)
+	cp[0].Values[0] = -1
+	if src[0].Values[0] == -1 {
+		t.Error("CloneTuples shares backing arrays")
+	}
+	for i := range src[1:] {
+		if !cp[i+1].Equal(src[i+1]) {
+			t.Errorf("tuple %d not equal after clone", i+1)
+		}
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	s := Tuple{Values: []float64{1, 2.5}, Class: 1}.String()
+	if s != "(1,2.5 | class=1)" {
+		t.Errorf("String = %q", s)
+	}
+}

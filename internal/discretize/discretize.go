@@ -1,0 +1,314 @@
+// Package discretize builds the per-node, per-attribute discretizations of
+// Section 3.4 of the paper and the cell-count histograms maintained during
+// the cleanup scan.
+//
+// A discretization is a sorted list of boundary values taken from the
+// node's sample family. The histogram tracks, per class, 2B+1 cells for B
+// boundaries: an "atom" cell for each boundary value itself and an open
+// "interior" cell for each gap (including the two unbounded ends).
+// Cumulative counts at the cell edges are exactly the stamp points of
+// Section 3.4, so during verification
+//
+//   - atom cells are evaluated exactly (the stamp point at a boundary is
+//     the true partition of the split at that value),
+//   - empty interior cells contain no candidate split points and are
+//     skipped,
+//   - non-empty interior cells are lower-bounded by the 2^k corner bound
+//     of Lemma 3.1 over the rectangle spanned by their edge stamp points.
+//
+// Boundary selection follows the paper's adaptive procedure: walk the
+// sample's attribute values in ascending order and extend the current
+// bucket while its corner lower bound stays well above the node's
+// estimated minimum impurity; where the bound approaches the minimum the
+// buckets degenerate to single values, whose atoms are then verified
+// exactly — "many buckets in regions where the impurity is close to the
+// overall minimum, few buckets elsewhere".
+package discretize
+
+import (
+	"math"
+	"sort"
+
+	"github.com/boatml/boat/internal/hull"
+	"github.com/boatml/boat/internal/split"
+)
+
+// DefaultBudget is the default soft bound on boundaries per
+// (node, attribute). The adaptive walk may exceed it by up to
+// HardCapFactor times before the quality-ordered fallback thins the
+// selection: regions where the impurity curve itself sits inside the band
+// can only be protected by atom cells (which verification evaluates
+// exactly, with zero false-alarm risk), so capping them too aggressively
+// trades memory for spurious rebuilds.
+const DefaultBudget = 128
+
+// HardCapFactor bounds how far beyond the budget the adaptive walk may
+// go before boundaries are thinned.
+const HardCapFactor = 32
+
+// BandFraction controls how much headroom above the estimated minimum
+// impurity a bucket's lower bound must keep: the bucket is closed once its
+// bound drops under estMin + band, with
+// band = BandFraction*(nodeImpurity-estMin) + BandFloor*nodeImpurity.
+// The band absorbs the sampling noise between the sample's impurity
+// landscape and the full data's; the floor keeps it meaningful at deep
+// noisy nodes where the gap nodeImpurity-estMin vanishes.
+const (
+	BandFraction = 0.25
+	BandFloor    = 0.02
+)
+
+// Boundaries computes the discretization boundaries for one numeric
+// attribute from the node's sample family AVC-set. estMin is the node's
+// estimated minimum impurity over all attributes (the sample tree's best
+// split quality); budget <= 0 selects DefaultBudget.
+func Boundaries(crit split.Criterion, avc *split.NumericAVC, classTotals []int64,
+	estMin float64, budget int) []float64 {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	nv := len(avc.Values)
+	if nv == 0 {
+		return nil
+	}
+	k := len(classTotals)
+	nodeImp := crit.Impurity(classTotals)
+	band := BandFloor * nodeImp
+	if nodeImp > estMin && !math.IsInf(estMin, 1) {
+		band += BandFraction * (nodeImp - estMin)
+	}
+	threshold := estMin + band
+	if math.IsInf(estMin, 1) {
+		threshold = nodeImp // no estimate: everything is dangerous
+	}
+
+	// Adaptive walk: close the current bucket whenever extending it would
+	// drag its corner lower bound to the threshold or below. The largest
+	// observed value always closes the discretization: its atom is
+	// harmless during verification (splitting at the maximum is illegal),
+	// and it keeps the unbounded tail cell — whose verification rectangle
+	// extends all the way to the class totals — empty on the data the
+	// boundaries were built from.
+	cum := make([]int64, k)      // stamp after value i
+	bucketLo := make([]int64, k) // stamp at the last boundary
+	var out []float64
+	for i := 0; i < nv; i++ {
+		for j, c := range avc.Counts[i] {
+			cum[j] += c
+		}
+		if i == nv-1 {
+			out = append(out, avc.Values[i])
+			break
+		}
+		lb := hull.LowerBound(crit, bucketLo, cum, classTotals)
+		if lb <= threshold {
+			out = append(out, avc.Values[i])
+			copy(bucketLo, cum)
+		}
+	}
+	if len(out) <= budget*HardCapFactor {
+		return out
+	}
+	// Fallback: adaptive selection exploded (a near-flat impurity
+	// landscape over a huge domain); thin to the most dangerous
+	// candidates by impurity plus an equi-depth skeleton. Looser bounds
+	// may cause spurious rebuilds but never a wrong tree.
+	return fallbackBoundaries(crit, avc, classTotals, budget*HardCapFactor)
+}
+
+func fallbackBoundaries(crit split.Criterion, avc *split.NumericAVC, classTotals []int64, budget int) []float64 {
+	nv := len(avc.Values)
+	k := len(classTotals)
+	left := make([]int64, k)
+	scratch := make([]int64, k)
+	quality := make([]float64, nv-1)
+	for i := 0; i < nv-1; i++ {
+		for j, c := range avc.Counts[i] {
+			left[j] += c
+		}
+		quality[i] = crit.QualityFromLeft(left, classTotals, scratch)
+	}
+	selected := make(map[int]bool)
+	order := make([]int, nv-1)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if quality[order[a]] != quality[order[b]] {
+			return quality[order[a]] < quality[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	fine := budget / 2
+	if fine > len(order) {
+		fine = len(order)
+	}
+	for _, i := range order[:fine] {
+		selected[i] = true
+	}
+	var total int64
+	for _, c := range classTotals {
+		total += c
+	}
+	coarse := budget - fine
+	if coarse > 0 && total > 0 {
+		step := total / int64(coarse+1)
+		if step < 1 {
+			step = 1
+		}
+		var cum, next int64 = 0, step
+		for i := 0; i < nv-1; i++ {
+			for _, c := range avc.Counts[i] {
+				cum += c
+			}
+			if cum >= next {
+				selected[i] = true
+				next += step
+			}
+		}
+	}
+	selected[nv-1] = true // always close with the maximum observed value
+	idxs := make([]int, 0, len(selected))
+	for i := range selected {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]float64, len(idxs))
+	for j, i := range idxs {
+		out[j] = avc.Values[i]
+	}
+	return out
+}
+
+// InsertBoundaries returns boundaries with the extra values merged in
+// (sorted, deduplicated). Used to force the confidence-interval endpoints
+// of the coarse splitting attribute to be boundaries, so no cell straddles
+// the interval.
+func InsertBoundaries(boundaries []float64, extra ...float64) []float64 {
+	out := make([]float64, 0, len(boundaries)+len(extra))
+	out = append(out, boundaries...)
+	out = append(out, extra...)
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// Histogram counts tuples per (cell, class) for one numeric attribute at
+// one node. For B boundaries there are 2B+1 cells, alternating interior
+// and atom cells:
+//
+//	cell 0:   (-Inf, b0)    interior
+//	cell 1:   [b0]          atom
+//	cell 2:   (b0, b1)      interior
+//	...
+//	cell 2B:  (b_{B-1}, +Inf) interior
+type Histogram struct {
+	Boundaries []float64
+	Counts     [][]int64
+}
+
+// NewHistogram allocates a zeroed histogram over the boundaries
+// (which must be sorted and distinct).
+func NewHistogram(boundaries []float64, classCount int) *Histogram {
+	nc := 2*len(boundaries) + 1
+	counts := make([][]int64, nc)
+	backing := make([]int64, nc*classCount)
+	for i := range counts {
+		counts[i] = backing[i*classCount : (i+1)*classCount]
+	}
+	return &Histogram{Boundaries: boundaries, Counts: counts}
+}
+
+// CellOf returns the cell index of value v.
+func (h *Histogram) CellOf(v float64) int {
+	i := sort.SearchFloat64s(h.Boundaries, v)
+	if i < len(h.Boundaries) && h.Boundaries[i] == v {
+		return 2*i + 1 // atom
+	}
+	return 2 * i // interior
+}
+
+// IsAtom reports whether the cell is a single boundary value.
+func (h *Histogram) IsAtom(cell int) bool { return cell%2 == 1 }
+
+// AtomValue returns the boundary value of an atom cell.
+func (h *Histogram) AtomValue(cell int) float64 { return h.Boundaries[cell/2] }
+
+// CellLowerEdge returns the infimum of the cell's range (-Inf for cell 0).
+func (h *Histogram) CellLowerEdge(cell int) float64 {
+	if h.IsAtom(cell) {
+		return h.Boundaries[cell/2]
+	}
+	if cell == 0 {
+		return math.Inf(-1)
+	}
+	return h.Boundaries[cell/2-1]
+}
+
+// CellUpperEdge returns the supremum of the cell's range (+Inf for the
+// last cell).
+func (h *Histogram) CellUpperEdge(cell int) float64 {
+	if h.IsAtom(cell) {
+		return h.Boundaries[cell/2]
+	}
+	if cell/2 >= len(h.Boundaries) {
+		return math.Inf(1)
+	}
+	return h.Boundaries[cell/2]
+}
+
+// Add registers w occurrences of (v, class).
+func (h *Histogram) Add(v float64, class int, w int64) {
+	h.Counts[h.CellOf(v)][class] += w
+}
+
+// NumCells returns the cell count.
+func (h *Histogram) NumCells() int { return len(h.Counts) }
+
+// CellTotal returns the number of tuples in a cell.
+func (h *Histogram) CellTotal(cell int) int64 {
+	var s int64
+	for _, c := range h.Counts[cell] {
+		s += c
+	}
+	return s
+}
+
+// StampPoints returns the cumulative class counts at the cell edges:
+// stamps[c] is the stamp point just below cell c, and stamps[c+1] the one
+// at its upper edge; stamps[0] is all-zero and the final entry equals the
+// family's class totals. For an atom cell c at boundary b, stamps[c+1] is
+// exactly the stamp point of the split X <= b.
+func (h *Histogram) StampPoints() [][]int64 {
+	k := 0
+	if len(h.Counts) > 0 {
+		k = len(h.Counts[0])
+	}
+	stamps := make([][]int64, len(h.Counts)+1)
+	backing := make([]int64, (len(h.Counts)+1)*k)
+	stamps[0] = backing[:k]
+	cum := make([]int64, k)
+	for c := range h.Counts {
+		for j, v := range h.Counts[c] {
+			cum[j] += v
+		}
+		row := backing[(c+1)*k : (c+2)*k]
+		copy(row, cum)
+		stamps[c+1] = row
+	}
+	return stamps
+}
+
+// Reset zeroes all counts, keeping the boundaries.
+func (h *Histogram) Reset() {
+	for _, row := range h.Counts {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package eval provides classifier evaluation utilities: confusion
+// matrices, misclassification rates, holdout splits, and k-fold
+// cross-validation. The paper notes (Section 2.1) that its techniques
+// also speed up cross-validation over large training sets — each fold is
+// just another training database, so any builder (BOAT included) plugs
+// into CrossValidate.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/tree"
+)
+
+// ConfusionMatrix counts predictions: Counts[actual][predicted].
+type ConfusionMatrix struct {
+	Counts [][]int64
+}
+
+// NewConfusionMatrix allocates a k-class matrix.
+func NewConfusionMatrix(classCount int) *ConfusionMatrix {
+	counts := make([][]int64, classCount)
+	backing := make([]int64, classCount*classCount)
+	for i := range counts {
+		counts[i] = backing[i*classCount : (i+1)*classCount]
+	}
+	return &ConfusionMatrix{Counts: counts}
+}
+
+// Add records one prediction.
+func (m *ConfusionMatrix) Add(actual, predicted int) { m.Counts[actual][predicted]++ }
+
+// Total returns the number of recorded predictions.
+func (m *ConfusionMatrix) Total() int64 {
+	var n int64
+	for _, row := range m.Counts {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}
+
+// Correct returns the diagonal sum.
+func (m *ConfusionMatrix) Correct() int64 {
+	var n int64
+	for i := range m.Counts {
+		n += m.Counts[i][i]
+	}
+	return n
+}
+
+// Accuracy returns Correct/Total (1 for an empty matrix).
+func (m *ConfusionMatrix) Accuracy() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 1
+	}
+	return float64(m.Correct()) / float64(t)
+}
+
+// MisclassificationRate returns 1 - Accuracy.
+func (m *ConfusionMatrix) MisclassificationRate() float64 { return 1 - m.Accuracy() }
+
+// Recall returns the per-class recall (0 when the class is absent).
+func (m *ConfusionMatrix) Recall(class int) float64 {
+	var row int64
+	for _, c := range m.Counts[class] {
+		row += c
+	}
+	if row == 0 {
+		return 0
+	}
+	return float64(m.Counts[class][class]) / float64(row)
+}
+
+// Precision returns the per-class precision (0 when never predicted).
+func (m *ConfusionMatrix) Precision(class int) float64 {
+	var col int64
+	for actual := range m.Counts {
+		col += m.Counts[actual][class]
+	}
+	if col == 0 {
+		return 0
+	}
+	return float64(m.Counts[class][class]) / float64(col)
+}
+
+// String renders the matrix.
+func (m *ConfusionMatrix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "actual\\pred")
+	for p := range m.Counts {
+		fmt.Fprintf(&sb, "\t%d", p)
+	}
+	sb.WriteByte('\n')
+	for a, row := range m.Counts {
+		fmt.Fprintf(&sb, "%d", a)
+		for _, c := range row {
+			fmt.Fprintf(&sb, "\t%d", c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Evaluate scans src and fills a confusion matrix with the tree's
+// predictions.
+func Evaluate(t *tree.Tree, src data.Source) (*ConfusionMatrix, error) {
+	if !t.Schema.Equal(src.Schema()) {
+		return nil, data.ErrSchemaMismatch
+	}
+	m := NewConfusionMatrix(t.Schema.ClassCount)
+	err := data.ForEach(src, func(tp data.Tuple) error {
+		m.Add(tp.Class, t.Classify(tp))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// HoldoutSplit shuffles the tuples and splits them into a training and a
+// validation part; trainFraction in (0,1).
+func HoldoutSplit(tuples []data.Tuple, trainFraction float64, rng *rand.Rand) (train, holdout []data.Tuple, err error) {
+	if trainFraction <= 0 || trainFraction >= 1 {
+		return nil, nil, fmt.Errorf("eval: train fraction %v out of (0,1)", trainFraction)
+	}
+	shuffled := data.CloneTuples(tuples)
+	data.Shuffle(shuffled, rng)
+	cut := int(float64(len(shuffled)) * trainFraction)
+	return shuffled[:cut], shuffled[cut:], nil
+}
+
+// Builder grows a tree over a training database; both the in-memory
+// reference and BOAT satisfy it via small adapters.
+type Builder func(train data.Source) (*tree.Tree, error)
+
+// FoldResult is one cross-validation fold's outcome.
+type FoldResult struct {
+	Fold   int
+	Matrix *ConfusionMatrix
+	Tree   *tree.Tree
+}
+
+// CrossValidate runs k-fold cross-validation: the tuples are shuffled and
+// partitioned into k folds; for each fold a tree is built on the other
+// k-1 folds and evaluated on it.
+func CrossValidate(schema *data.Schema, tuples []data.Tuple, k int, rng *rand.Rand, build Builder) ([]FoldResult, error) {
+	if k < 2 {
+		return nil, errors.New("eval: need at least 2 folds")
+	}
+	if len(tuples) < k {
+		return nil, fmt.Errorf("eval: %d tuples cannot form %d folds", len(tuples), k)
+	}
+	shuffled := data.CloneTuples(tuples)
+	data.Shuffle(shuffled, rng)
+	results := make([]FoldResult, 0, k)
+	for fold := 0; fold < k; fold++ {
+		lo := fold * len(shuffled) / k
+		hi := (fold + 1) * len(shuffled) / k
+		test := shuffled[lo:hi]
+		train := make([]data.Tuple, 0, len(shuffled)-len(test))
+		train = append(train, shuffled[:lo]...)
+		train = append(train, shuffled[hi:]...)
+		tr, err := build(data.NewMemSource(schema, train))
+		if err != nil {
+			return results, fmt.Errorf("eval: fold %d: %w", fold, err)
+		}
+		m, err := Evaluate(tr, data.NewMemSource(schema, test))
+		if err != nil {
+			return results, err
+		}
+		results = append(results, FoldResult{Fold: fold, Matrix: m, Tree: tr})
+	}
+	return results, nil
+}
+
+// MeanMisclassification averages the fold error rates.
+func MeanMisclassification(folds []FoldResult) float64 {
+	if len(folds) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range folds {
+		s += f.Matrix.MisclassificationRate()
+	}
+	return s / float64(len(folds))
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/tree"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	m.Add(0, 0)
+	m.Add(0, 0)
+	m.Add(0, 1)
+	m.Add(1, 1)
+	if m.Total() != 4 || m.Correct() != 3 {
+		t.Fatalf("total=%d correct=%d", m.Total(), m.Correct())
+	}
+	if m.Accuracy() != 0.75 || m.MisclassificationRate() != 0.25 {
+		t.Errorf("accuracy=%v", m.Accuracy())
+	}
+	if r := m.Recall(0); r != 2.0/3 {
+		t.Errorf("recall(0)=%v", r)
+	}
+	if p := m.Precision(1); p != 0.5 {
+		t.Errorf("precision(1)=%v", p)
+	}
+	if !strings.Contains(m.String(), "actual") {
+		t.Error("String missing header")
+	}
+}
+
+func TestConfusionMatrixEdge(t *testing.T) {
+	m := NewConfusionMatrix(3)
+	if m.Accuracy() != 1 {
+		t.Error("empty matrix accuracy should be 1")
+	}
+	if m.Recall(0) != 0 || m.Precision(0) != 0 {
+		t.Error("absent class recall/precision should be 0")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 1, Noise: 0}, 4000, 3)
+	tuples, _ := data.ReadAll(src)
+	tr := inmem.Build(src.Schema(), tuples, inmem.Config{Method: split.NewGini(), MaxDepth: 4})
+	m, err := Evaluate(tr, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 4000 {
+		t.Fatalf("total=%d", m.Total())
+	}
+	if m.Accuracy() < 0.99 {
+		t.Errorf("noise-free F1 accuracy %v", m.Accuracy())
+	}
+	other := data.NewMemSource(data.MustSchema(
+		[]data.Attribute{{Name: "z", Kind: data.Numeric}}, 2), nil)
+	if _, err := Evaluate(tr, other); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestHoldoutSplit(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 1}, 1000, 1)
+	tuples, _ := data.ReadAll(src)
+	train, hold, err := HoldoutSplit(tuples, 0.7, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 700 || len(hold) != 300 {
+		t.Fatalf("split sizes %d/%d", len(train), len(hold))
+	}
+	// Original slice untouched, partition disjoint & complete (multiset).
+	seen := map[string]int{}
+	for _, tp := range tuples {
+		seen[tp.Key()]++
+	}
+	for _, tp := range append(append([]data.Tuple{}, train...), hold...) {
+		seen[tp.Key()]--
+	}
+	for _, c := range seen {
+		if c != 0 {
+			t.Fatal("holdout split lost or duplicated tuples")
+		}
+	}
+	if _, _, err := HoldoutSplit(tuples, 0, nil); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if _, _, err := HoldoutSplit(tuples, 1, nil); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, 3000, 5)
+	tuples, _ := data.ReadAll(src)
+	build := func(train data.Source) (*tree.Tree, error) {
+		ts, err := data.ReadAll(train)
+		if err != nil {
+			return nil, err
+		}
+		return inmem.Build(train.Schema(), ts, inmem.Config{
+			Method: split.NewGini(), MaxDepth: 4, MinSplit: 20,
+		}), nil
+	}
+	folds, err := CrossValidate(src.Schema(), tuples, 5, rand.New(rand.NewSource(2)), build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	var total int64
+	for _, f := range folds {
+		total += f.Matrix.Total()
+		if f.Tree == nil {
+			t.Fatal("fold without tree")
+		}
+	}
+	if total != 3000 {
+		t.Errorf("folds evaluated %d tuples, want 3000", total)
+	}
+	mean := MeanMisclassification(folds)
+	if mean > 0.12 {
+		t.Errorf("mean CV error %v too high for F1 with 5%% noise", mean)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	schema := gen.Schema(0)
+	if _, err := CrossValidate(schema, nil, 1, nil, nil); err == nil {
+		t.Error("k=1 accepted")
+	}
+	tuples := make([]data.Tuple, 3)
+	for i := range tuples {
+		tuples[i] = data.Tuple{Values: make([]float64, 9), Class: 0}
+	}
+	if _, err := CrossValidate(schema, tuples, 5, rand.New(rand.NewSource(1)), nil); err == nil {
+		t.Error("too few tuples accepted")
+	}
+}
+
+func TestMeanMisclassificationEmpty(t *testing.T) {
+	if MeanMisclassification(nil) != 0 {
+		t.Error("empty folds should average to 0")
+	}
+}

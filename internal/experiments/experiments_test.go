@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests; the runners
+// themselves verify tree equality across algorithms, so these tests are
+// end-to-end checks of the whole reproduction pipeline.
+func tiny(t *testing.T) Config {
+	t.Helper()
+	return Config{Unit: 4000, MaxUnits: 4, Seed: 1, Dir: t.TempDir()}
+}
+
+func checkRows(t *testing.T, rows []Row, wantAlgos []string, wantPoints int) {
+	t.Helper()
+	algos := map[string]int{}
+	for _, r := range rows {
+		algos[r.Algo]++
+		if r.Seconds < 0 {
+			t.Errorf("negative time in %+v", r)
+		}
+	}
+	for _, a := range wantAlgos {
+		if algos[a] != wantPoints {
+			t.Errorf("algo %s has %d points, want %d (all: %v)", a, algos[a], wantPoints, algos)
+		}
+	}
+}
+
+func TestRunScalability(t *testing.T) {
+	rows, err := RunScalability("fig4", 1, tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, []string{"BOAT", "RF-Hybrid", "RF-Vertical"}, 2) // sizes 2 and 4
+	// BOAT must scan the database exactly twice at every point.
+	for _, r := range rows {
+		if r.Algo == "BOAT" && r.Scans != 2 {
+			t.Errorf("BOAT made %d scans at x=%g", r.Scans, r.X)
+		}
+	}
+}
+
+func TestRunScalabilityWithFiles(t *testing.T) {
+	c := tiny(t)
+	c.UseFiles = true
+	c.MaxUnits = 2
+	rows, err := RunScalability("fig4", 6, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, []string{"BOAT", "RF-Hybrid", "RF-Vertical"}, 1)
+}
+
+func TestRunNoise(t *testing.T) {
+	c := tiny(t)
+	rows, err := RunNoise("fig7", 1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, []string{"BOAT", "RF-Hybrid", "RF-Vertical"}, 5) // 2..10%
+}
+
+func TestRunExtraAttrs(t *testing.T) {
+	c := tiny(t)
+	rows, err := RunExtraAttrs("fig10", 1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, []string{"BOAT", "RF-Hybrid", "RF-Vertical"}, 4) // 0,2,4,6
+	// Tuples read should grow with record width for the same scan counts
+	// is not guaranteed (tuple counts, not bytes); but BOAT stays at 2
+	// scans regardless of the extra attributes.
+	for _, r := range rows {
+		if r.Algo == "BOAT" && r.Scans != 2 {
+			t.Errorf("BOAT scans = %d with extra attrs x=%g", r.Scans, r.X)
+		}
+	}
+}
+
+func TestRunInstability(t *testing.T) {
+	res, err := RunInstability(tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BOATExact {
+		t.Fatal("BOAT lost exactness on the instability dataset")
+	}
+	if res.RootSurvived {
+		// When the root survives, the split points must be bimodal: both
+		// minima represented, or the interval spans them.
+		if res.NearLow == 0 || res.NearHigh == 0 {
+			t.Logf("all bootstrap points on one side (low=%d high=%d): also a legal outcome",
+				res.NearLow, res.NearHigh)
+		}
+		if res.NearLow > 0 && res.NearHigh > 0 && res.IntervalHi-res.IntervalLo < 30 {
+			t.Errorf("bimodal points but narrow interval [%v,%v]", res.IntervalLo, res.IntervalHi)
+		}
+	}
+	t.Logf("instability: %+v", res)
+}
+
+func TestRunDynamicStable(t *testing.T) {
+	rows, err := RunDynamic("fig13", DynamicStable, tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, []string{"BOAT-Update", "Rebuild-BOAT", "Rebuild-RF-Hybrid"}, 2)
+	// Cumulative times must be non-decreasing per algorithm.
+	last := map[string]float64{}
+	for _, r := range rows {
+		if r.Seconds < last[r.Algo] {
+			t.Errorf("%s cumulative time decreased at x=%g", r.Algo, r.X)
+		}
+		last[r.Algo] = r.Seconds
+	}
+}
+
+func TestRunDynamicChange(t *testing.T) {
+	rows, err := RunDynamic("fig14", DynamicChange, tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows(t, rows, []string{"BOAT-Update", "Rebuild-BOAT", "Rebuild-RF-Hybrid"}, 2)
+}
+
+func TestRunDynamicChunkSize(t *testing.T) {
+	rows, err := RunDynamic("fig15", DynamicChunkSize, tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c1, c2 int
+	for _, r := range rows {
+		switch r.Algo {
+		case "Chunk-1":
+			c1++
+		case "Chunk-2":
+			c2++
+		}
+	}
+	if c1 != 4 || c2 != 2 {
+		t.Errorf("chunk curves have %d/%d points, want 4/2", c1, c2)
+	}
+}
+
+func TestFormatRows(t *testing.T) {
+	var sb strings.Builder
+	FormatRows(&sb, []Row{{
+		Figure: "fig4", X: 2, XLabel: "millions", Algo: "BOAT",
+		Seconds: 1.5, Scans: 2, TuplesRead: 100, Nodes: 7,
+	}})
+	out := sb.String()
+	for _, want := range []string{"fig4", "BOAT", "millions=2", "1.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDynamicKindString(t *testing.T) {
+	if DynamicStable.String() != "stable" || DynamicChange.String() != "change" ||
+		DynamicChunkSize.String() != "chunk-size" {
+		t.Error("kind names wrong")
+	}
+}

@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/split"
+)
+
+func TestInstabilityDataset(t *testing.T) {
+	src := InstabilitySource(30000, 17)
+	if n, ok := src.Count(); !ok || n != 30000 {
+		t.Fatalf("count %d,%v", n, ok)
+	}
+	schema := src.Schema()
+	var countsLow, countsMid, countsHigh [2]int64
+	err := data.ForEach(src, func(tp data.Tuple) error {
+		if err := schema.CheckTuple(tp); err != nil {
+			return err
+		}
+		x := tp.Values[0]
+		if x < 0 || x > 80 {
+			t.Fatalf("x = %v", x)
+		}
+		switch {
+		case x <= 19:
+			countsLow[tp.Class]++
+		case x <= 60:
+			countsMid[tp.Class]++
+		default:
+			countsHigh[tp.Class]++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracA := func(c [2]int64) float64 { return float64(c[GroupA]) / float64(c[GroupA]+c[GroupB]) }
+	if f := fracA(countsLow); f < 0.85 || f > 0.95 {
+		t.Errorf("low segment P(A) = %v, want ~0.9", f)
+	}
+	if f := fracA(countsMid); f < 0.45 || f > 0.55 {
+		t.Errorf("mid segment P(A) = %v, want ~0.5", f)
+	}
+	if f := fracA(countsHigh); f < 0.05 || f > 0.15 {
+		t.Errorf("high segment P(A) = %v, want ~0.1", f)
+	}
+}
+
+func TestInstabilityTwoMinimaNearlyTied(t *testing.T) {
+	// The gini impurity of the splits x <= 19 and x <= 60 must be nearly
+	// identical (this is what makes bootstrap split points bimodal in the
+	// Figure 12 experiment).
+	src := InstabilitySource(200000, 23)
+	tuples, err := data.ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := split.BuildNodeStats(src.Schema(), tuples)
+	avc := stats.Num[0]
+	qAt := func(x float64) float64 {
+		left := make([]int64, 2)
+		for i, v := range avc.Values {
+			if v > x {
+				break
+			}
+			for c, cnt := range avc.Counts[i] {
+				left[c] += cnt
+			}
+		}
+		return split.Gini.QualityFromLeft(left, stats.ClassTotals, nil)
+	}
+	q19, q60 := qAt(19), qAt(60)
+	if d := q19 - q60; d < -0.003 || d > 0.003 {
+		t.Errorf("minima not tied: q(19)=%v q(60)=%v", q19, q60)
+	}
+	// Both must be well below any split in the flat middle.
+	if q35 := qAt(35); q35 < q19+0.01 {
+		t.Errorf("middle split q(35)=%v too close to the minima %v", q35, q19)
+	}
+}

@@ -1,0 +1,44 @@
+package hull
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/boatml/boat/internal/split"
+)
+
+// TestLowerBoundMonotoneInRectangle: enlarging the rectangle can only
+// lower (or keep) the bound — the property that makes the verification
+// sound when bucket boundaries are coarser than the data.
+func TestLowerBoundMonotoneInRectangle(t *testing.T) {
+	f := func(a0, a1, b0, b1, e0, e1, t0, t1 uint8) bool {
+		lo := []int64{int64(a0 % 30), int64(a1 % 30)}
+		hi := []int64{lo[0] + int64(b0%30), lo[1] + int64(b1%30)}
+		big := []int64{hi[0] + int64(e0%30), hi[1] + int64(e1%30)}
+		totals := []int64{big[0] + int64(t0%30), big[1] + int64(t1%30)}
+		inner := LowerBound(split.Gini, lo, hi, totals)
+		outer := LowerBound(split.Gini, lo, big, totals)
+		return outer <= inner+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLowerBoundNeverExceedsCornerQualities: the bound equals the min of
+// the corner evaluations, so it can never exceed either endpoint's exact
+// quality.
+func TestLowerBoundNeverExceedsCornerQualities(t *testing.T) {
+	f := func(a0, a1, b0, b1, t0, t1 uint8) bool {
+		lo := []int64{int64(a0 % 40), int64(a1 % 40)}
+		hi := []int64{lo[0] + int64(b0%40), lo[1] + int64(b1%40)}
+		totals := []int64{hi[0] + int64(t0%40) + 1, hi[1] + int64(t1%40) + 1}
+		lb := LowerBound(split.Gini, lo, hi, totals)
+		qLo := split.Gini.QualityFromLeft(lo, totals, nil)
+		qHi := split.Gini.QualityFromLeft(hi, totals, nil)
+		return lb <= qLo+1e-12 && lb <= qHi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

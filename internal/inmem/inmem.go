@@ -1,0 +1,105 @@
+// Package inmem implements the classical greedy top-down decision tree
+// induction schema of Figure 1 in the paper, operating on an in-memory
+// family of tuples. It serves three roles: the ground-truth reference the
+// scalable algorithms are tested against ("exactly the same tree"), the
+// builder for bootstrap trees in BOAT's sampling phase, and the
+// main-memory algorithm BOAT and RainForest switch to once a node's
+// family fits in memory.
+package inmem
+
+import (
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/tree"
+)
+
+// Config holds the growth-phase stopping rules shared verbatim by every
+// builder in this repository; identical rules are a precondition for the
+// "identical tree" guarantee.
+type Config struct {
+	// Method is the split selection method CL. Required.
+	Method split.Method
+	// MinSplit stops growth at families smaller than this (minimum 2;
+	// 0 means 2).
+	MinSplit int64
+	// MaxDepth limits the tree depth (0 = unlimited; negative = always
+	// stop, used for subtree builds rooted at the depth limit).
+	MaxDepth int
+	// StopThreshold, with StopAtThreshold, turns families of at most this
+	// many tuples into leaves without further splitting. This models the
+	// performance-experiment methodology of Section 5, where tree
+	// construction stops as soon as a family fits in memory.
+	StopThreshold   int64
+	StopAtThreshold bool
+}
+
+// StopBeforeSplit reports whether a node with the given family size,
+// depth, and class histogram must become a leaf before split selection is
+// even attempted.
+func (c Config) StopBeforeSplit(total int64, depth int, classTotals []int64) bool {
+	minSplit := c.MinSplit
+	if minSplit < 2 {
+		minSplit = 2
+	}
+	if total < minSplit {
+		return true
+	}
+	if c.MaxDepth != 0 && depth >= c.MaxDepth {
+		return true
+	}
+	if c.StopAtThreshold && total <= c.StopThreshold {
+		return true
+	}
+	nonzero := 0
+	for _, v := range classTotals {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1 // pure node
+}
+
+// BuildNaive constructs the decision tree with per-node AVC re-sorting —
+// the straightforward instantiation of the Figure 1 schema. Build (in
+// attrlist.go) is the production path; BuildNaive remains as the
+// independent oracle the tests cross-check it against. The tuple slice is
+// reordered in place during recursive partitioning; pass an owned slice.
+func BuildNaive(schema *data.Schema, tuples []data.Tuple, cfg Config) *tree.Tree {
+	return &tree.Tree{Schema: schema, Root: buildNode(schema, tuples, cfg, 0)}
+}
+
+func buildNode(schema *data.Schema, tuples []data.Tuple, cfg Config, depth int) *tree.Node {
+	classTotals := make([]int64, schema.ClassCount)
+	for _, t := range tuples {
+		classTotals[t.Class]++
+	}
+	n := &tree.Node{ClassCounts: classTotals, Label: tree.MajorityLabel(classTotals)}
+	if cfg.StopBeforeSplit(int64(len(tuples)), depth, classTotals) {
+		return n
+	}
+	stats := split.BuildNodeStats(schema, tuples)
+	best := cfg.Method.BestSplit(stats)
+	if !best.Found {
+		return n
+	}
+	n.Crit = best
+	left := Partition(tuples, best)
+	n.Left = buildNode(schema, tuples[:left], cfg, depth+1)
+	n.Right = buildNode(schema, tuples[left:], cfg, depth+1)
+	return n
+}
+
+// Partition reorders tuples so the first returned count of them route left
+// under the criterion, preserving nothing about the original order.
+func Partition(tuples []data.Tuple, crit split.Split) int {
+	i, j := 0, len(tuples)
+	for i < j {
+		if crit.Left(tuples[i]) {
+			i++
+		} else {
+			j--
+			tuples[i], tuples[j] = tuples[j], tuples[i]
+		}
+	}
+	return i
+}

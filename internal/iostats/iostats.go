@@ -1,0 +1,164 @@
+// Package iostats provides hardware-independent cost accounting for the
+// experimental evaluation: the number of sequential scans started over the
+// training database, tuples and bytes read, and tuples and bytes written to
+// temporary storage.
+//
+// The BOAT paper's headline result — several tree levels per database scan
+// instead of one scan per level — is architecture-independent, so scan and
+// tuple counts are the primary reproduction metric alongside wall-clock
+// time.
+package iostats
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+// Stats accumulates I/O counters. All methods are safe for concurrent use.
+// The zero value is ready to use.
+type Stats struct {
+	scans       atomic.Int64
+	tuplesRead  atomic.Int64
+	bytesRead   atomic.Int64
+	spillTuples atomic.Int64
+	spillBytes  atomic.Int64
+}
+
+// RecordScan notes the start of one sequential scan over a tracked source.
+func (s *Stats) RecordScan() {
+	if s != nil {
+		s.scans.Add(1)
+	}
+}
+
+// RecordRead notes tuples/bytes delivered by a tracked scan.
+func (s *Stats) RecordRead(tuples, bytes int64) {
+	if s != nil {
+		s.tuplesRead.Add(tuples)
+		s.bytesRead.Add(bytes)
+	}
+}
+
+// RecordSpill implements data.SpillRecorder.
+func (s *Stats) RecordSpill(tuples, bytes int64) {
+	if s != nil {
+		s.spillTuples.Add(tuples)
+		s.spillBytes.Add(bytes)
+	}
+}
+
+// Scans returns the number of scans started.
+func (s *Stats) Scans() int64 { return s.scans.Load() }
+
+// TuplesRead returns the number of tuples read by tracked scans.
+func (s *Stats) TuplesRead() int64 { return s.tuplesRead.Load() }
+
+// BytesRead returns the (estimated) bytes read by tracked scans.
+func (s *Stats) BytesRead() int64 { return s.bytesRead.Load() }
+
+// SpillTuples returns the tuples written to temporary storage.
+func (s *Stats) SpillTuples() int64 { return s.spillTuples.Load() }
+
+// SpillBytes returns the bytes written to temporary storage.
+func (s *Stats) SpillBytes() int64 { return s.spillBytes.Load() }
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.scans.Store(0)
+	s.tuplesRead.Store(0)
+	s.bytesRead.Store(0)
+	s.spillTuples.Store(0)
+	s.spillBytes.Store(0)
+}
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	Scans       int64
+	TuplesRead  int64
+	BytesRead   int64
+	SpillTuples int64
+	SpillBytes  int64
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Scans:       s.Scans(),
+		TuplesRead:  s.TuplesRead(),
+		BytesRead:   s.BytesRead(),
+		SpillTuples: s.SpillTuples(),
+		SpillBytes:  s.SpillBytes(),
+	}
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (a Snapshot) Sub(b Snapshot) Snapshot {
+	return Snapshot{
+		Scans:       a.Scans - b.Scans,
+		TuplesRead:  a.TuplesRead - b.TuplesRead,
+		BytesRead:   a.BytesRead - b.BytesRead,
+		SpillTuples: a.SpillTuples - b.SpillTuples,
+		SpillBytes:  a.SpillBytes - b.SpillBytes,
+	}
+}
+
+// String renders the snapshot compactly.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("scans=%d tuples=%d bytes=%d spillTuples=%d spillBytes=%d",
+		s.Scans, s.TuplesRead, s.BytesRead, s.SpillTuples, s.SpillBytes)
+}
+
+// Tracked wraps src so that every Scan and every batch read is recorded in
+// stats. Bytes are accounted using the per-tuple size of the source's
+// natural encoding (the actual file record size for file sources, the wide
+// encoding otherwise).
+func Tracked(src data.Source, stats *Stats) data.Source {
+	if stats == nil {
+		return src
+	}
+	tupleBytes := int64(data.FormatWide.TupleSize(src.Schema()))
+	if fs, ok := src.(*data.FileSource); ok {
+		tupleBytes = int64(fs.Format().TupleSize(src.Schema()))
+	}
+	return &trackedSource{inner: src, stats: stats, tupleBytes: tupleBytes}
+}
+
+type trackedSource struct {
+	inner      data.Source
+	stats      *Stats
+	tupleBytes int64
+}
+
+func (t *trackedSource) Schema() *data.Schema { return t.inner.Schema() }
+func (t *trackedSource) Count() (int64, bool) { return t.inner.Count() }
+
+func (t *trackedSource) Scan() (data.Scanner, error) {
+	sc, err := t.inner.Scan()
+	if err != nil {
+		return nil, err
+	}
+	t.stats.RecordScan()
+	return &trackedScanner{inner: sc, stats: t.stats, tupleBytes: t.tupleBytes}, nil
+}
+
+type trackedScanner struct {
+	inner      data.Scanner
+	stats      *Stats
+	tupleBytes int64
+}
+
+func (t *trackedScanner) Next() ([]data.Tuple, error) {
+	batch, err := t.inner.Next()
+	if err == nil {
+		n := int64(len(batch))
+		t.stats.RecordRead(n, n*t.tupleBytes)
+	}
+	return batch, err
+}
+
+func (t *trackedScanner) Close() error { return t.inner.Close() }

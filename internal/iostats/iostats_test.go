@@ -1,0 +1,110 @@
+package iostats
+
+import (
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+func testSchema() *data.Schema {
+	return data.MustSchema([]data.Attribute{
+		{Name: "x", Kind: data.Numeric},
+		{Name: "y", Kind: data.Numeric},
+	}, 2)
+}
+
+func testTuples(n int) []data.Tuple {
+	out := make([]data.Tuple, n)
+	for i := range out {
+		out[i] = data.Tuple{Values: []float64{float64(i), 0}, Class: i % 2}
+	}
+	return out
+}
+
+func TestTrackedCountsScansAndTuples(t *testing.T) {
+	var st Stats
+	src := Tracked(data.NewMemSource(testSchema(), testTuples(2500)), &st)
+	for pass := 0; pass < 3; pass++ {
+		if _, err := data.CountTuples(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Count is known without scanning for MemSource, so force scans.
+	for pass := 0; pass < 3; pass++ {
+		var n int64
+		if err := data.ForEach(src, func(data.Tuple) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 2500 {
+			t.Fatalf("scan saw %d tuples", n)
+		}
+	}
+	if st.Scans() != 3 {
+		t.Errorf("Scans = %d, want 3", st.Scans())
+	}
+	if st.TuplesRead() != 7500 {
+		t.Errorf("TuplesRead = %d, want 7500", st.TuplesRead())
+	}
+	wantBytes := int64(7500) * int64(data.FormatWide.TupleSize(testSchema()))
+	if st.BytesRead() != wantBytes {
+		t.Errorf("BytesRead = %d, want %d", st.BytesRead(), wantBytes)
+	}
+}
+
+func TestTrackedNilStatsPassthrough(t *testing.T) {
+	src := data.NewMemSource(testSchema(), testTuples(10))
+	if Tracked(src, nil) != data.Source(src) {
+		t.Error("nil stats should return the source unchanged")
+	}
+}
+
+func TestTrackedFileUsesRecordSize(t *testing.T) {
+	path := t.TempDir() + "/d.boat"
+	if _, err := data.WriteFile(path, data.NewMemSource(testSchema(), testTuples(100)), data.FormatCompact); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := data.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	src := Tracked(fs, &st)
+	if err := data.ForEach(src, func(data.Tuple) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(100) * int64(data.FormatCompact.TupleSize(testSchema())) // 12 bytes/tuple
+	if st.BytesRead() != want {
+		t.Errorf("BytesRead = %d, want %d (compact record size)", st.BytesRead(), want)
+	}
+}
+
+func TestSnapshotSubAndReset(t *testing.T) {
+	var st Stats
+	st.RecordScan()
+	st.RecordRead(10, 100)
+	st.RecordSpill(5, 50)
+	a := st.Snapshot()
+	st.RecordScan()
+	st.RecordRead(10, 100)
+	d := st.Snapshot().Sub(a)
+	if d.Scans != 1 || d.TuplesRead != 10 || d.BytesRead != 100 || d.SpillTuples != 0 {
+		t.Errorf("delta = %+v", d)
+	}
+	if s := d.String(); s == "" {
+		t.Error("empty String")
+	}
+	st.Reset()
+	if z := st.Snapshot(); z != (Snapshot{}) {
+		t.Errorf("after reset: %+v", z)
+	}
+}
+
+func TestNilStatsMethodsSafe(t *testing.T) {
+	var s *Stats
+	s.RecordScan()
+	s.RecordRead(1, 1)
+	s.RecordSpill(1, 1)
+	if s.Snapshot() != (Snapshot{}) {
+		t.Error("nil stats snapshot should be zero")
+	}
+}

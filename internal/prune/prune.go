@@ -1,0 +1,194 @@
+// Package prune implements the pruning phase of decision tree
+// construction. The paper concentrates on the growth phase and treats
+// pruning as orthogonal (Section 2.1), pointing at MDL-based pruning
+// [MAR96, RS98] as the standard choice for large datasets; this package
+// provides that MDL pruning (in the spirit of SLIQ's two-part code) plus
+// classical reduced-error pruning against a validation set.
+//
+// Both algorithms return a new tree; the input tree is never modified, so
+// a BOAT model's maintained (unpruned) tree keeps its incremental
+// guarantees while pruned snapshots are published to consumers.
+package prune
+
+import (
+	"errors"
+	"math"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/tree"
+)
+
+// MDLOptions tunes the MDL code lengths.
+type MDLOptions struct {
+	// SplitPointBits is the code length charged for describing a numeric
+	// split point (log2 of the typical number of candidate split points;
+	// 0 selects 20, i.e. about a million candidates).
+	SplitPointBits float64
+}
+
+// MDL prunes the tree bottom-up under a two-part minimum-description-
+// length criterion: a subtree survives only if encoding it plus the data
+// given it is cheaper than encoding its family's class labels directly.
+//
+// Code lengths (bits):
+//
+//	leaf:     1 + n*H(counts) + (k-1)/2 * log2(n+1)
+//	internal: 1 + log2(m) + splitBits + cost(left) + cost(right)
+//
+// where H is the empirical class entropy, m the number of predictor
+// attributes, and splitBits the cost of the splitting predicate
+// (SplitPointBits for numeric splits, one bit per category for
+// categorical subsets). Nodes must carry ClassCounts (all builders in
+// this repository produce them).
+func MDL(t *tree.Tree, opt MDLOptions) (*tree.Tree, error) {
+	if t == nil || t.Root == nil {
+		return nil, errors.New("prune: nil tree")
+	}
+	if opt.SplitPointBits <= 0 {
+		opt.SplitPointBits = 20
+	}
+	m := float64(len(t.Schema.Attributes))
+	root, _, err := mdlNode(t.Schema, t.Root, m, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &tree.Tree{Schema: t.Schema, Root: root}, nil
+}
+
+func mdlNode(schema *data.Schema, n *tree.Node, m float64, opt MDLOptions) (*tree.Node, float64, error) {
+	if n.ClassCounts == nil {
+		return nil, 0, errors.New("prune: node without class counts")
+	}
+	leafCost := 1 + dataCode(n.ClassCounts)
+	if n.IsLeaf() {
+		return cloneLeaf(n), leafCost, nil
+	}
+	left, leftCost, err := mdlNode(schema, n.Left, m, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	right, rightCost, err := mdlNode(schema, n.Right, m, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	splitBits := math.Log2(m)
+	if n.Crit.Kind == data.Numeric {
+		splitBits += opt.SplitPointBits
+	} else {
+		splitBits += float64(schema.Attributes[n.Crit.Attr].Cardinality)
+	}
+	subtreeCost := 1 + splitBits + leftCost + rightCost
+	if leafCost <= subtreeCost {
+		return cloneLeaf(n), leafCost, nil
+	}
+	out := &tree.Node{
+		Crit:        n.Crit,
+		Left:        left,
+		Right:       right,
+		Label:       n.Label,
+		ClassCounts: cloneCounts(n.ClassCounts),
+	}
+	return out, subtreeCost, nil
+}
+
+// dataCode is the two-part code length of a leaf's class labels:
+// n*H(p) bits for the labels plus (k-1)/2*log2(n+1) for the model
+// (the class distribution parameters).
+func dataCode(counts []int64) float64 {
+	var n int64
+	k := 0
+	for _, c := range counts {
+		n += c
+		if c > 0 {
+			k++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	h := split.Entropy.Impurity(counts)
+	return float64(n)*h + float64(k-1)/2*math.Log2(float64(n)+1)
+}
+
+// ReducedError prunes bottom-up against a validation set: a subtree is
+// collapsed to a leaf whenever the leaf's majority label misclassifies no
+// more validation tuples than the subtree does. Standard, simple, and
+// safe when a holdout set is available.
+func ReducedError(t *tree.Tree, validation data.Source) (*tree.Tree, error) {
+	if t == nil || t.Root == nil {
+		return nil, errors.New("prune: nil tree")
+	}
+	if !t.Schema.Equal(validation.Schema()) {
+		return nil, data.ErrSchemaMismatch
+	}
+	// Collect per-node validation class counts by routing every tuple.
+	counts := map[*tree.Node][]int64{}
+	k := t.Schema.ClassCount
+	err := data.ForEach(validation, func(tp data.Tuple) error {
+		n := t.Root
+		for {
+			row := counts[n]
+			if row == nil {
+				row = make([]int64, k)
+				counts[n] = row
+			}
+			row[tp.Class]++
+			if n.IsLeaf() {
+				return nil
+			}
+			if n.Crit.Left(tp) {
+				n = n.Left
+			} else {
+				n = n.Right
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	root, _ := repNode(t.Root, counts)
+	return &tree.Tree{Schema: t.Schema, Root: root}, nil
+}
+
+// repNode returns the pruned clone and its validation error count.
+func repNode(n *tree.Node, counts map[*tree.Node][]int64) (*tree.Node, int64) {
+	leafErr := errorsAsLeaf(n, counts[n])
+	if n.IsLeaf() {
+		return cloneLeaf(n), leafErr
+	}
+	left, leftErr := repNode(n.Left, counts)
+	right, rightErr := repNode(n.Right, counts)
+	if leafErr <= leftErr+rightErr {
+		return cloneLeaf(n), leafErr
+	}
+	return &tree.Node{
+		Crit:        n.Crit,
+		Left:        left,
+		Right:       right,
+		Label:       n.Label,
+		ClassCounts: cloneCounts(n.ClassCounts),
+	}, leftErr + rightErr
+}
+
+// errorsAsLeaf counts the validation tuples at n that the node's label
+// (the training majority) would misclassify.
+func errorsAsLeaf(n *tree.Node, valCounts []int64) int64 {
+	var e int64
+	for class, c := range valCounts {
+		if class != n.Label {
+			e += c
+		}
+	}
+	return e
+}
+
+func cloneLeaf(n *tree.Node) *tree.Node {
+	return &tree.Node{Label: n.Label, ClassCounts: cloneCounts(n.ClassCounts)}
+}
+
+func cloneCounts(c []int64) []int64 {
+	out := make([]int64, len(c))
+	copy(out, c)
+	return out
+}

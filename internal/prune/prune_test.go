@@ -1,0 +1,162 @@
+package prune
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/tree"
+)
+
+// overgrownTree builds a deliberately overfit tree on noisy data.
+func overgrownTree(t *testing.T, n int64, noise float64, seed int64) (*tree.Tree, data.Source) {
+	t.Helper()
+	src := gen.MustSource(gen.Config{Function: 1, Noise: noise}, n, seed)
+	tuples, err := data.ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inmem.Build(src.Schema(), tuples, inmem.Config{
+		Method: split.NewGini(), MaxDepth: 12, MinSplit: 4,
+	}), src
+}
+
+func TestMDLShrinksOverfitTree(t *testing.T) {
+	tr, _ := overgrownTree(t, 6000, 0.20, 3)
+	pruned, err := MDL(tr, MDLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.NumNodes() >= tr.NumNodes() {
+		t.Fatalf("MDL did not shrink the tree: %d -> %d nodes", tr.NumNodes(), pruned.NumNodes())
+	}
+	// Pruning must not change the structure it keeps: every internal node
+	// of the pruned tree appears with the same criterion in the original.
+	if tr.Depth() < pruned.Depth() {
+		t.Error("pruned tree deeper than original")
+	}
+	// The true concept (F1 on age) must survive pruning: held-out
+	// accuracy of the pruned tree should not collapse.
+	holdout := gen.MustSource(gen.Config{Function: 1, Noise: 0}, 5000, 99)
+	rate, err := pruned.MisclassificationRate(holdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate > 0.10 {
+		t.Errorf("pruned tree held-out error %v too high", rate)
+	}
+}
+
+func TestMDLKeepsCleanStructure(t *testing.T) {
+	// On noise-free, perfectly learnable data the true splits must
+	// survive MDL pruning.
+	src := gen.MustSource(gen.Config{Function: 1, Noise: 0}, 5000, 7)
+	tuples, _ := data.ReadAll(src)
+	tr := inmem.Build(src.Schema(), tuples, inmem.Config{Method: split.NewGini(), MaxDepth: 6})
+	pruned, err := MDL(tr, MDLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Root.IsLeaf() {
+		t.Fatal("MDL collapsed a clean concept to a single leaf")
+	}
+	rate, err := pruned.MisclassificationRate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate > 0.01 {
+		t.Errorf("training error after pruning a clean tree: %v", rate)
+	}
+}
+
+func TestMDLDoesNotMutateInput(t *testing.T) {
+	tr, _ := overgrownTree(t, 3000, 0.2, 11)
+	before := tr.String()
+	if _, err := MDL(tr, MDLOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() != before {
+		t.Error("MDL mutated its input tree")
+	}
+}
+
+func TestMDLErrors(t *testing.T) {
+	if _, err := MDL(nil, MDLOptions{}); err == nil {
+		t.Error("nil tree accepted")
+	}
+	schema := gen.Schema(0)
+	broken := &tree.Tree{Schema: schema, Root: &tree.Node{Label: 1}} // no class counts
+	if _, err := MDL(broken, MDLOptions{}); err == nil {
+		t.Error("node without class counts accepted")
+	}
+}
+
+func TestReducedErrorPruning(t *testing.T) {
+	tr, _ := overgrownTree(t, 6000, 0.20, 5)
+	validation := gen.MustSource(gen.Config{Function: 1, Noise: 0.20}, 4000, 77)
+	pruned, err := ReducedError(tr, validation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.NumNodes() >= tr.NumNodes() {
+		t.Fatalf("reduced-error pruning did not shrink: %d -> %d", tr.NumNodes(), pruned.NumNodes())
+	}
+	// Pruning can only improve (or keep) validation error.
+	origRate, _ := tr.MisclassificationRate(validation)
+	prunedRate, _ := pruned.MisclassificationRate(validation)
+	if prunedRate > origRate+1e-12 {
+		t.Errorf("validation error worsened: %v -> %v", origRate, prunedRate)
+	}
+}
+
+func TestReducedErrorSchemaMismatch(t *testing.T) {
+	tr, _ := overgrownTree(t, 1000, 0.1, 1)
+	other := data.NewMemSource(data.MustSchema(
+		[]data.Attribute{{Name: "z", Kind: data.Numeric}}, 2), nil)
+	if _, err := ReducedError(tr, other); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestReducedErrorEmptyValidation(t *testing.T) {
+	tr, src := overgrownTree(t, 1000, 0.1, 2)
+	empty := data.NewMemSource(src.Schema(), nil)
+	pruned, err := ReducedError(tr, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no validation evidence everything ties at zero errors and the
+	// whole tree collapses — the textbook behavior of REP.
+	if !pruned.Root.IsLeaf() {
+		t.Error("empty validation set should collapse the tree")
+	}
+}
+
+func TestPrunedTreePredictionsConsistent(t *testing.T) {
+	// Property: for tuples routed to an unpruned region, predictions
+	// agree with the original tree.
+	tr, src := overgrownTree(t, 4000, 0.15, 13)
+	pruned, err := MDL(tr, MDLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	disagreements := 0
+	total := 0
+	data.ForEach(src, func(tp data.Tuple) error {
+		total++
+		if tr.Classify(tp) != pruned.Classify(tp) {
+			disagreements++
+		}
+		return nil
+	})
+	// Pruned leaves use majority labels, so some disagreement is
+	// expected, but it must stay a minority phenomenon on training data.
+	if disagreements*4 > total {
+		t.Errorf("pruning changed %d/%d training predictions", disagreements, total)
+	}
+}

@@ -1,0 +1,138 @@
+package rainforest
+
+import (
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/tree"
+)
+
+// verticalSplit handles a node whose AVC-group alone exceeds the buffer,
+// the case RF-Vertical is designed for: the predictor attributes are
+// partitioned into groups whose AVC-sets fit the buffer, and the node is
+// processed with one scan per group, keeping only the best split found so
+// far. (The original RF-Vertical writes per-attribute temporary
+// projections instead of rescanning; the scan count — the quantity the
+// evaluation measures — is the same.)
+func (b *builder) verticalSplit(n *rfNode, collects []*rfNode, next *[]*rfNode) error {
+	groups := b.attributeGroups(n)
+	best := split.NoSplit()
+	var bestLeft []int64
+	var classTotals []int64
+
+	for gi, group := range groups {
+		avcb := split.NewAVCBuilderFor(b.schema, group)
+		target := map[*tree.Node]*rfNode{n.node: n}
+		if gi == 0 {
+			for _, c := range collects {
+				target[c.node] = c
+			}
+		}
+		err := b.forEachRouted(target, func(rf *rfNode, tp data.Tuple) error {
+			if rf == n {
+				avcb.Add(tp)
+				return nil
+			}
+			return rf.collect.Append(tp)
+		})
+		if err != nil {
+			return err
+		}
+		if e := avcb.Entries(); e > b.stats.PeakAVCEntries {
+			b.stats.PeakAVCEntries = e
+		}
+		stats := avcb.Stats()
+		classTotals = stats.ClassTotals
+		for _, attr := range group {
+			var cand split.Split
+			if avc := stats.Num[attr]; avc != nil {
+				cand = split.BestNumericSplit(b.criterionFor(), attr, avc, stats.ClassTotals)
+			} else if cat := stats.Cat[attr]; cat != nil {
+				cand = split.BestCategoricalSplit(b.criterionFor(), attr, cat, stats.ClassTotals)
+			}
+			if cand.Better(best) {
+				best = cand
+				bestLeft = leftClassTotals(stats, cand)
+			}
+		}
+	}
+
+	n.classTotals = classTotals
+	n.size = stats64(classTotals)
+	for _, c := range collects {
+		if err := b.finishCollected(c); err != nil {
+			return err
+		}
+	}
+	if b.cfg.Grow.StopBeforeSplit(n.size, n.depth, n.classTotals) || !best.Found {
+		finalizeLeaf(n)
+		return nil
+	}
+	rightTotals := make([]int64, len(bestLeft))
+	var leftSize, rightSize int64
+	for c := range bestLeft {
+		rightTotals[c] = classTotals[c] - bestLeft[c]
+		leftSize += bestLeft[c]
+		rightSize += rightTotals[c]
+	}
+	n.node.Crit = best
+	n.node.ClassCounts = classTotals
+	n.node.Label = tree.MajorityLabel(classTotals)
+	n.node.Left = &tree.Node{}
+	n.node.Right = &tree.Node{}
+	*next = append(*next,
+		&rfNode{depth: n.depth + 1, size: leftSize, classTotals: bestLeft, node: n.node.Left},
+		&rfNode{depth: n.depth + 1, size: rightSize, classTotals: rightTotals, node: n.node.Right})
+	return nil
+}
+
+// criterionFor returns the impurity criterion backing the configured
+// method. The per-attribute search of verticalSplit only supports
+// impurity-based methods; moment-based methods never take this path
+// because their sufficient statistics are constant-size (their AVC-group
+// pressure comes only from categorical tables, which are tiny).
+func (b *builder) criterionFor() split.Criterion {
+	if ib, ok := b.cfg.Grow.Method.(split.ImpurityBased); ok {
+		return ib.Criterion()
+	}
+	return split.Gini
+}
+
+// attributeGroups partitions the attribute indexes so each group's
+// estimated AVC entries fit the buffer (always at least one attribute per
+// group).
+func (b *builder) attributeGroups(n *rfNode) [][]int {
+	limit := b.cfg.AVCBufferEntries
+	var groups [][]int
+	var cur []int
+	var used int64
+	for i, a := range b.schema.Attributes {
+		var e int64
+		if a.Kind == data.Categorical {
+			e = int64(a.Cardinality)
+		} else {
+			e = b.distinct[i]
+			if n.size < e {
+				e = n.size
+			}
+		}
+		if len(cur) > 0 && used+e > limit {
+			groups = append(groups, cur)
+			cur = nil
+			used = 0
+		}
+		cur = append(cur, i)
+		used += e
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+func stats64(counts []int64) int64 {
+	var s int64
+	for _, v := range counts {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,255 @@
+package split
+
+import (
+	"slices"
+	"sort"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+// NumericAVC is the AVC-set (Attribute-Value, Class-label counts) of one
+// numeric predictor attribute over a family of tuples, in ascending value
+// order: Counts[i][j] is the number of tuples with value Values[i] and
+// class j. Introduced by the RainForest framework [GRG98]; sufficient for
+// exact impurity-based split selection on the attribute.
+type NumericAVC struct {
+	Values []float64
+	Counts [][]int64
+}
+
+// Entries returns the number of distinct attribute values.
+func (a *NumericAVC) Entries() int { return len(a.Values) }
+
+// CatAVC is the AVC-set of one categorical attribute: Counts[c][j] is the
+// number of tuples with category code c and class j.
+type CatAVC struct {
+	Counts [][]int64
+}
+
+// Entries returns the domain cardinality.
+func (a *CatAVC) Entries() int { return len(a.Counts) }
+
+// NewCatAVC allocates a zeroed categorical AVC-set.
+func NewCatAVC(cardinality, classCount int) *CatAVC {
+	counts := make([][]int64, cardinality)
+	backing := make([]int64, cardinality*classCount)
+	for c := range counts {
+		counts[c] = backing[c*classCount : (c+1)*classCount]
+	}
+	return &CatAVC{Counts: counts}
+}
+
+// Add registers w occurrences of (code, class); w may be negative for
+// deletions in the dynamic environment.
+func (a *CatAVC) Add(code, class int, w int64) { a.Counts[code][class] += w }
+
+// NodeStats is the AVC-group of a node: the AVC-sets of every predictor
+// attribute plus the class totals of the family. It is the complete input
+// to impurity-based split selection.
+type NodeStats struct {
+	Schema      *data.Schema
+	ClassTotals []int64
+	Num         []*NumericAVC // indexed by attribute; nil for categorical attributes
+	Cat         []*CatAVC     // indexed by attribute; nil for numeric attributes
+}
+
+// Total returns the family size |F_n|.
+func (s *NodeStats) Total() int64 {
+	var n int64
+	for _, v := range s.ClassTotals {
+		n += v
+	}
+	return n
+}
+
+// Entries returns the total number of AVC entries in the group, the
+// quantity RainForest's memory management is driven by.
+func (s *NodeStats) Entries() int64 {
+	var n int64
+	for _, a := range s.Num {
+		if a != nil {
+			n += int64(a.Entries())
+		}
+	}
+	for _, a := range s.Cat {
+		if a != nil {
+			n += int64(a.Entries())
+		}
+	}
+	return n
+}
+
+// avcBuilder accumulates AVC-sets incrementally (used by the RainForest
+// scans, where tuples arrive in file order).
+type avcBuilder struct {
+	schema      *data.Schema
+	classTotals []int64
+	num         []map[float64][]int64
+	cat         []*CatAVC
+}
+
+// NewAVCBuilder creates an empty accumulating AVC-group for a node.
+func NewAVCBuilder(schema *data.Schema) *AVCBuilder {
+	attrs := make([]int, len(schema.Attributes))
+	for i := range attrs {
+		attrs[i] = i
+	}
+	return NewAVCBuilderFor(schema, attrs)
+}
+
+// NewAVCBuilderFor creates an AVC builder restricted to a subset of
+// attributes (used by RF-Vertical to process one attribute group per
+// scan); other attributes are ignored by Add and absent from Stats.
+func NewAVCBuilderFor(schema *data.Schema, attrs []int) *AVCBuilder {
+	b := &AVCBuilder{avcBuilder{
+		schema:      schema,
+		classTotals: make([]int64, schema.ClassCount),
+		num:         make([]map[float64][]int64, len(schema.Attributes)),
+		cat:         make([]*CatAVC, len(schema.Attributes)),
+	}}
+	for _, i := range attrs {
+		if schema.Attributes[i].Kind == data.Numeric {
+			b.num[i] = make(map[float64][]int64)
+		} else {
+			b.cat[i] = NewCatAVC(schema.Attributes[i].Cardinality, schema.ClassCount)
+		}
+	}
+	return b
+}
+
+// AVCBuilder incrementally accumulates the AVC-group of one node.
+type AVCBuilder struct {
+	avcBuilder
+}
+
+// Add registers one tuple.
+func (b *AVCBuilder) Add(t data.Tuple) {
+	b.classTotals[t.Class]++
+	for i := range b.schema.Attributes {
+		if m := b.num[i]; m != nil {
+			v := t.Values[i]
+			row := m[v]
+			if row == nil {
+				row = make([]int64, b.schema.ClassCount)
+				m[v] = row
+			}
+			row[t.Class]++
+		} else if c := b.cat[i]; c != nil {
+			c.Add(int(t.Values[i]), t.Class, 1)
+		}
+	}
+}
+
+// Entries returns the current AVC entry count (distinct numeric values
+// seen plus categorical domain sizes).
+func (b *AVCBuilder) Entries() int64 {
+	var n int64
+	for _, m := range b.num {
+		if m != nil {
+			n += int64(len(m))
+		}
+	}
+	for _, c := range b.cat {
+		if c != nil {
+			n += int64(c.Entries())
+		}
+	}
+	return n
+}
+
+// Stats finalizes the accumulated counts into a NodeStats (sorting the
+// numeric AVC-sets by value).
+func (b *AVCBuilder) Stats() *NodeStats {
+	s := &NodeStats{
+		Schema:      b.schema,
+		ClassTotals: b.classTotals,
+		Num:         make([]*NumericAVC, len(b.schema.Attributes)),
+		Cat:         b.cat,
+	}
+	for i, m := range b.num {
+		if m == nil {
+			continue
+		}
+		avc := &NumericAVC{
+			Values: make([]float64, 0, len(m)),
+			Counts: make([][]int64, 0, len(m)),
+		}
+		for v := range m {
+			avc.Values = append(avc.Values, v)
+		}
+		sort.Float64s(avc.Values)
+		for _, v := range avc.Values {
+			avc.Counts = append(avc.Counts, m[v])
+		}
+		s.Num[i] = avc
+	}
+	return s
+}
+
+// BuildNodeStats computes the complete AVC-group of an in-memory family.
+// Numeric AVC-sets are built by sorting (value, class) pairs rather than
+// hashing — the in-memory reference builder and the bootstrap trees call
+// this at every node, so it is the hottest path of the sampling phase.
+func BuildNodeStats(schema *data.Schema, tuples []data.Tuple) *NodeStats {
+	k := schema.ClassCount
+	s := &NodeStats{
+		Schema:      schema,
+		ClassTotals: make([]int64, k),
+		Num:         make([]*NumericAVC, len(schema.Attributes)),
+		Cat:         make([]*CatAVC, len(schema.Attributes)),
+	}
+	for _, t := range tuples {
+		s.ClassTotals[t.Class]++
+	}
+	pairs := make([]valueClass, len(tuples))
+	for i, a := range schema.Attributes {
+		if a.Kind == data.Categorical {
+			avc := NewCatAVC(a.Cardinality, k)
+			for _, t := range tuples {
+				avc.Counts[int(t.Values[i])][t.Class]++
+			}
+			s.Cat[i] = avc
+			continue
+		}
+		for j, t := range tuples {
+			pairs[j] = valueClass{v: t.Values[i], class: t.Class}
+		}
+		slices.SortFunc(pairs, func(a, b valueClass) int {
+			switch {
+			case a.v < b.v:
+				return -1
+			case a.v > b.v:
+				return 1
+			default:
+				return 0
+			}
+		})
+		distinct := 0
+		for j := range pairs {
+			if j == 0 || pairs[j].v != pairs[j-1].v {
+				distinct++
+			}
+		}
+		avc := &NumericAVC{
+			Values: make([]float64, 0, distinct),
+			Counts: make([][]int64, 0, distinct),
+		}
+		backing := make([]int64, distinct*k)
+		var row []int64
+		for j := range pairs {
+			if j == 0 || pairs[j].v != pairs[j-1].v {
+				row = backing[len(avc.Values)*k : (len(avc.Values)+1)*k]
+				avc.Values = append(avc.Values, pairs[j].v)
+				avc.Counts = append(avc.Counts, row)
+			}
+			row[pairs[j].class]++
+		}
+		s.Num[i] = avc
+	}
+	return s
+}
+
+type valueClass struct {
+	v     float64
+	class int
+}

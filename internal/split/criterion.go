@@ -1,0 +1,117 @@
+// Package split implements split selection for binary decision trees:
+// concave impurity functions (gini, entropy) evaluated from integer class
+// counts, AVC-sets (attribute-value, class-label counts) in the sense of
+// the RainForest framework, exact best-split search for numerical and
+// categorical predictor attributes, and a non-impurity-based QUEST-like
+// method driven by constant-size sufficient statistics.
+//
+// Every tree construction algorithm in this repository (the in-memory
+// reference, RainForest RF-Hybrid/RF-Vertical, and BOAT) selects splits
+// through this package's single implementation, evaluated from integer
+// count vectors. Identical counts therefore yield bit-identical impurity
+// values and identical tie-breaking, which is what makes "BOAT produces
+// exactly the same tree" a testable property.
+package split
+
+import (
+	"fmt"
+	"math"
+)
+
+// Criterion selects the concave impurity function imp_theta of the paper.
+type Criterion int
+
+const (
+	// Gini is the gini index of CART (Breiman et al. 1984).
+	Gini Criterion = iota
+	// Entropy is the information entropy used by C4.5-style methods.
+	Entropy
+)
+
+// String returns the criterion name.
+func (c Criterion) String() string {
+	switch c {
+	case Gini:
+		return "gini"
+	case Entropy:
+		return "entropy"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Impurity computes the node impurity of a class-count vector.
+// Counts must be non-negative; a zero vector has impurity 0.
+func (c Criterion) Impurity(counts []int64) float64 {
+	var n int64
+	for _, v := range counts {
+		n += v
+	}
+	if n == 0 {
+		return 0
+	}
+	return c.impurityN(counts, n)
+}
+
+// impurityN computes impurity given the precomputed total.
+func (c Criterion) impurityN(counts []int64, n int64) float64 {
+	fn := float64(n)
+	switch c {
+	case Gini:
+		s := 0.0
+		for _, v := range counts {
+			p := float64(v) / fn
+			s += p * p
+		}
+		return 1 - s
+	case Entropy:
+		s := 0.0
+		for _, v := range counts {
+			if v == 0 {
+				continue
+			}
+			p := float64(v) / fn
+			s -= p * math.Log2(p)
+		}
+		return s
+	default:
+		panic("split: unknown criterion")
+	}
+}
+
+// PartitionQuality computes the weighted impurity of a binary partition:
+//
+//	(|L| * imp(L) + |R| * imp(R)) / (|L| + |R|)
+//
+// Lower is better. A partition with an empty side is invalid and returns
+// +Inf. This is the quantity imp_X(n, X, x) that all split selection in
+// the paper minimizes, and — viewed as a function of the left-count vector
+// with the totals fixed — it is the concave function imp_S on stamp points
+// to which Lemma 3.1's corner-point lower bound applies.
+func (c Criterion) PartitionQuality(left, right []int64) float64 {
+	var nL, nR int64
+	for _, v := range left {
+		nL += v
+	}
+	for _, v := range right {
+		nR += v
+	}
+	if nL <= 0 || nR <= 0 {
+		return math.Inf(1)
+	}
+	n := float64(nL + nR)
+	return (float64(nL)*c.impurityN(left, nL) + float64(nR)*c.impurityN(right, nR)) / n
+}
+
+// QualityFromLeft computes PartitionQuality given the left counts and the
+// family totals, avoiding an allocation for the right side. scratch must
+// have len == len(totals) or be nil.
+func (c Criterion) QualityFromLeft(left, totals, scratch []int64) float64 {
+	if scratch == nil {
+		scratch = make([]int64, len(totals))
+	}
+	for i := range totals {
+		scratch[i] = totals[i] - left[i]
+	}
+	return c.PartitionQuality(left, scratch)
+}

@@ -1,0 +1,140 @@
+package split
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestImpurityPureAndUniform(t *testing.T) {
+	for _, crit := range []Criterion{Gini, Entropy} {
+		if got := crit.Impurity([]int64{100, 0}); got != 0 {
+			t.Errorf("%v: pure node impurity = %v", crit, got)
+		}
+		if got := crit.Impurity([]int64{0, 0}); got != 0 {
+			t.Errorf("%v: empty node impurity = %v", crit, got)
+		}
+	}
+	if got := Gini.Impurity([]int64{50, 50}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("gini uniform 2-class = %v, want 0.5", got)
+	}
+	if got := Entropy.Impurity([]int64{50, 50}); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("entropy uniform 2-class = %v, want 1", got)
+	}
+	if got := Gini.Impurity([]int64{10, 10, 10, 10}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("gini uniform 4-class = %v, want 0.75", got)
+	}
+	if got := Entropy.Impurity([]int64{10, 10, 10, 10}); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("entropy uniform 4-class = %v, want 2", got)
+	}
+}
+
+func TestImpurityMaximizedAtUniform(t *testing.T) {
+	// Property: impurity of any distribution <= impurity of uniform.
+	f := func(a, b, c uint16) bool {
+		counts := []int64{int64(a), int64(b), int64(c)}
+		var n int64
+		for _, v := range counts {
+			n += v
+		}
+		if n == 0 {
+			return true
+		}
+		for _, crit := range []Criterion{Gini, Entropy} {
+			if crit.Impurity(counts) > crit.Impurity([]int64{n, n, n})+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionQualityInvalidSides(t *testing.T) {
+	for _, crit := range []Criterion{Gini, Entropy} {
+		if q := crit.PartitionQuality([]int64{0, 0}, []int64{5, 5}); !math.IsInf(q, 1) {
+			t.Errorf("%v: empty left side quality = %v, want +Inf", crit, q)
+		}
+		if q := crit.PartitionQuality([]int64{5, 5}, []int64{0, 0}); !math.IsInf(q, 1) {
+			t.Errorf("%v: empty right side quality = %v, want +Inf", crit, q)
+		}
+	}
+}
+
+func TestPartitionQualityNeverExceedsNodeImpurity(t *testing.T) {
+	// Concavity consequence: a split never increases weighted impurity.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		k := 2 + rng.Intn(3)
+		left := make([]int64, k)
+		right := make([]int64, k)
+		totals := make([]int64, k)
+		for i := 0; i < k; i++ {
+			left[i] = int64(rng.Intn(100))
+			right[i] = int64(rng.Intn(100))
+			totals[i] = left[i] + right[i]
+		}
+		for _, crit := range []Criterion{Gini, Entropy} {
+			q := crit.PartitionQuality(left, right)
+			if math.IsInf(q, 1) {
+				continue
+			}
+			if node := crit.Impurity(totals); q > node+1e-9 {
+				t.Fatalf("%v: partition quality %v exceeds node impurity %v (left=%v right=%v)",
+					crit, q, node, left, right)
+			}
+		}
+	}
+}
+
+func TestPartitionQualityPerfectSplit(t *testing.T) {
+	q := Gini.PartitionQuality([]int64{50, 0}, []int64{0, 50})
+	if q != 0 {
+		t.Errorf("perfectly separating split quality = %v, want 0", q)
+	}
+}
+
+func TestQualityFromLeftMatchesPartitionQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(3)
+		left := make([]int64, k)
+		totals := make([]int64, k)
+		right := make([]int64, k)
+		for i := 0; i < k; i++ {
+			left[i] = int64(rng.Intn(50))
+			right[i] = int64(rng.Intn(50))
+			totals[i] = left[i] + right[i]
+		}
+		for _, crit := range []Criterion{Gini, Entropy} {
+			a := crit.QualityFromLeft(left, totals, nil)
+			b := crit.PartitionQuality(left, right)
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Fatalf("%v: QualityFromLeft %v != PartitionQuality %v", crit, a, b)
+			}
+		}
+	}
+}
+
+func TestCriterionDeterminism(t *testing.T) {
+	// Bit-identical results for identical inputs — the foundation of the
+	// exact-tree guarantee.
+	left := []int64{123, 456, 789}
+	right := []int64{321, 654, 987}
+	for _, crit := range []Criterion{Gini, Entropy} {
+		a := crit.PartitionQuality(left, right)
+		b := crit.PartitionQuality(left, right)
+		if a != b {
+			t.Errorf("%v nondeterministic", crit)
+		}
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if Gini.String() != "gini" || Entropy.String() != "entropy" {
+		t.Error("criterion names wrong")
+	}
+}

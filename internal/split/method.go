@@ -1,0 +1,160 @@
+package split
+
+import (
+	"math"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+// Method is a split selection method CL in the paper's sense: given the
+// complete statistics of a node's family it either produces the splitting
+// criterion or declares the node a leaf. Implementations must be
+// deterministic pure functions of the statistics.
+type Method interface {
+	Name() string
+	BestSplit(stats *NodeStats) Split
+}
+
+// ImpurityBased is implemented by methods that minimize a concave impurity
+// function of the class-count vectors. BOAT exploits the concavity (via
+// the stamp-point corner lower bound of Lemma 3.1) to verify the coarse
+// splitting criteria of these methods.
+type ImpurityBased interface {
+	Method
+	Criterion() Criterion
+}
+
+// MomentBased is implemented by methods whose splitting criterion is an
+// exact function of constant-size sufficient statistics (per-class value
+// moments for numeric attributes and contingency tables for categorical
+// ones). BOAT verifies these methods by exact recomputation: the moments
+// are fully mergeable and are gathered during the cleanup scan.
+type MomentBased interface {
+	Method
+	BestSplitFromMoments(m *Moments) Split
+}
+
+// ---------------------------------------------------------------------------
+// Impurity-based methods
+
+// ImpurityMethod selects the split minimizing the weighted impurity under
+// the configured criterion, examining every predictor attribute
+// (Section 2.2 of the paper). NewGini / NewEntropy are the CART- and
+// C4.5-style instantiations.
+type ImpurityMethod struct {
+	crit Criterion
+	name string
+}
+
+// NewGini returns the gini-index split selection method (CART).
+func NewGini() *ImpurityMethod { return &ImpurityMethod{crit: Gini, name: "gini"} }
+
+// NewEntropy returns the entropy split selection method.
+func NewEntropy() *ImpurityMethod { return &ImpurityMethod{crit: Entropy, name: "entropy"} }
+
+// Name implements Method.
+func (m *ImpurityMethod) Name() string { return m.name }
+
+// Criterion implements ImpurityBased.
+func (m *ImpurityMethod) Criterion() Criterion { return m.crit }
+
+// BestSplit implements Method: exact search over all attributes with the
+// canonical deterministic tie-break.
+func (m *ImpurityMethod) BestSplit(stats *NodeStats) Split {
+	best := NoSplit()
+	for attr := range stats.Schema.Attributes {
+		var cand Split
+		if avc := stats.Num[attr]; avc != nil {
+			cand = BestNumericSplit(m.crit, attr, avc, stats.ClassTotals)
+		} else if cat := stats.Cat[attr]; cat != nil {
+			cand = BestCategoricalSplit(m.crit, attr, cat, stats.ClassTotals)
+		}
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// BestNumericSplit finds the best split X <= x over all candidate split
+// points x (the observed attribute values, excluding the largest) of one
+// numeric attribute, from its AVC-set.
+func BestNumericSplit(crit Criterion, attr int, avc *NumericAVC, classTotals []int64) Split {
+	k := len(classTotals)
+	left := make([]int64, k)
+	scratch := make([]int64, k)
+	best := NoSplit()
+	for i := 0; i < len(avc.Values)-1; i++ {
+		for j, c := range avc.Counts[i] {
+			left[j] += c
+		}
+		q := crit.QualityFromLeft(left, classTotals, scratch)
+		cand := Split{
+			Found:     true,
+			Attr:      attr,
+			Kind:      data.Numeric,
+			Threshold: avc.Values[i],
+			Quality:   q,
+		}
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// IntervalCandidate is one candidate split point inside a confidence
+// interval: the threshold value and the exact left class counts of the
+// induced partition over the full family.
+type IntervalCandidate struct {
+	Threshold float64
+	Left      []int64
+}
+
+// BestNumericSplitInInterval finds the best split of a numeric attribute
+// restricted to candidate split points inside the coarse criterion's
+// confidence interval [lo, hi]. It implements the cleanup-phase
+// computation of Section 3.3:
+//
+//   - baseLeft are the exact class counts of tuples with X <= lo
+//     (maintained by dedicated counters during the cleanup scan),
+//   - loObserved tells whether the value lo itself occurs in the family
+//     (making X <= lo a legal candidate with partition baseLeft),
+//   - inAVC is the AVC-set of the in-interval tuples S_n = i_n(F_n),
+//     i.e. lo < X <= hi, ascending,
+//   - classTotals are the class counts of the whole family F_n.
+//
+// Candidates are X <= lo (if observed) and X <= v for every observed
+// in-interval value v except that the overall largest observed value of
+// the attribute cannot be a candidate; the caller guarantees hi is not the
+// attribute maximum by construction (there are always tuples right of the
+// interval when hi is an interior bootstrap split point) — if the right
+// side is empty the candidate is discarded by PartitionQuality = +Inf.
+func BestNumericSplitInInterval(crit Criterion, attr int, baseLeft []int64, loObserved bool,
+	lo float64, inAVC *NumericAVC, classTotals []int64) Split {
+	k := len(classTotals)
+	left := make([]int64, k)
+	copy(left, baseLeft)
+	scratch := make([]int64, k)
+	best := NoSplit()
+	consider := func(threshold float64) {
+		q := crit.QualityFromLeft(left, classTotals, scratch)
+		if math.IsInf(q, 1) {
+			return
+		}
+		cand := Split{Found: true, Attr: attr, Kind: data.Numeric, Threshold: threshold, Quality: q}
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	if loObserved {
+		consider(lo)
+	}
+	for i, v := range inAVC.Values {
+		for j, c := range inAVC.Counts[i] {
+			left[j] += c
+		}
+		consider(v)
+	}
+	return best
+}

@@ -1,0 +1,241 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+func methodTestSchema() *data.Schema {
+	return data.MustSchema([]data.Attribute{
+		{Name: "x", Kind: data.Numeric},
+		{Name: "y", Kind: data.Numeric},
+		{Name: "c", Kind: data.Categorical, Cardinality: 4},
+	}, 2)
+}
+
+// separableTuples: class 0 iff x <= 10, regardless of y and c.
+func separableTuples(rng *rand.Rand, n int) []data.Tuple {
+	out := make([]data.Tuple, n)
+	for i := range out {
+		x := float64(rng.Intn(20)) + 1
+		class := 1
+		if x <= 10 {
+			class = 0
+		}
+		out[i] = data.Tuple{
+			Values: []float64{x, float64(rng.Intn(100)), float64(rng.Intn(4))},
+			Class:  class,
+		}
+	}
+	return out
+}
+
+func TestImpurityMethodFindsSeparatingSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tuples := separableTuples(rng, 500)
+	stats := BuildNodeStats(methodTestSchema(), tuples)
+	for _, m := range []Method{NewGini(), NewEntropy()} {
+		got := m.BestSplit(stats)
+		if !got.Found || got.Attr != 0 || got.Kind != data.Numeric || got.Threshold != 10 {
+			t.Errorf("%s: split %+v, want x <= 10", m.Name(), got)
+		}
+		if got.Quality != 0 {
+			t.Errorf("%s: quality %v, want 0 for perfect split", m.Name(), got.Quality)
+		}
+	}
+}
+
+func TestBestSplitPureNode(t *testing.T) {
+	tuples := make([]data.Tuple, 50)
+	for i := range tuples {
+		tuples[i] = data.Tuple{Values: []float64{float64(i), 1, 0}, Class: 0}
+	}
+	stats := BuildNodeStats(methodTestSchema(), tuples)
+	got := NewGini().BestSplit(stats)
+	// A pure node can still "split" with zero gain; builders stop on
+	// purity before calling BestSplit, but the split itself must at least
+	// carry the node impurity (0 here), never a negative value.
+	if got.Found && got.Quality != 0 {
+		t.Errorf("pure node split quality = %v", got.Quality)
+	}
+}
+
+func TestBestSplitConstantAttributes(t *testing.T) {
+	tuples := make([]data.Tuple, 50)
+	for i := range tuples {
+		tuples[i] = data.Tuple{Values: []float64{7, 7, 2}, Class: i % 2}
+	}
+	stats := BuildNodeStats(methodTestSchema(), tuples)
+	got := NewGini().BestSplit(stats)
+	if got.Found {
+		t.Errorf("all-constant attributes produced split %+v", got)
+	}
+}
+
+func TestBestNumericSplitCandidatesExcludeMax(t *testing.T) {
+	avc := &NumericAVC{
+		Values: []float64{1, 2, 3},
+		Counts: [][]int64{{5, 0}, {0, 5}, {2, 2}},
+	}
+	got := BestNumericSplit(Gini, 0, avc, []int64{7, 7})
+	if !got.Found {
+		t.Fatal("no split found")
+	}
+	if got.Threshold == 3 {
+		t.Error("split at the maximum value leaves an empty right side")
+	}
+}
+
+func TestBestNumericSplitTieBreaksSmallestThreshold(t *testing.T) {
+	// Symmetric data: splits at 1 and at 2 give identical quality; the
+	// canonical choice is the smaller threshold.
+	avc := &NumericAVC{
+		Values: []float64{1, 2, 3},
+		Counts: [][]int64{{4, 0}, {0, 0}, {0, 4}},
+	}
+	got := BestNumericSplit(Gini, 0, avc, []int64{4, 4})
+	if got.Threshold != 1 {
+		t.Errorf("threshold = %v, want 1 (tie-break)", got.Threshold)
+	}
+}
+
+func TestBestSplitPrefersSmallerAttrOnTie(t *testing.T) {
+	// x and y are identical columns: the tie must resolve to attr 0.
+	schema := data.MustSchema([]data.Attribute{
+		{Name: "x", Kind: data.Numeric},
+		{Name: "y", Kind: data.Numeric},
+	}, 2)
+	var tuples []data.Tuple
+	for i := 0; i < 40; i++ {
+		v := float64(i % 4)
+		class := 0
+		if v >= 2 {
+			class = 1
+		}
+		tuples = append(tuples, data.Tuple{Values: []float64{v, v}, Class: class})
+	}
+	got := NewGini().BestSplit(BuildNodeStats(schema, tuples))
+	if got.Attr != 0 {
+		t.Errorf("tie resolved to attr %d, want 0", got.Attr)
+	}
+}
+
+func TestBestNumericSplitInIntervalMatchesFull(t *testing.T) {
+	// Restricting to an interval that contains the global optimum must
+	// reproduce the unrestricted search exactly.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 200
+		tuples := separableTuples(rng, n)
+		stats := BuildNodeStats(methodTestSchema(), tuples)
+		avc := stats.Num[0]
+		full := BestNumericSplit(Gini, 0, avc, stats.ClassTotals)
+		if !full.Found {
+			continue
+		}
+		lo := full.Threshold - 2
+		hi := full.Threshold + 2
+		baseLeft := make([]int64, 2)
+		loObserved := false
+		inAVC := &NumericAVC{}
+		for i, v := range avc.Values {
+			switch {
+			case v < lo:
+				for c, cnt := range avc.Counts[i] {
+					baseLeft[c] += cnt
+				}
+			case v == lo:
+				loObserved = true
+				for c, cnt := range avc.Counts[i] {
+					baseLeft[c] += cnt
+				}
+			case v <= hi:
+				inAVC.Values = append(inAVC.Values, v)
+				inAVC.Counts = append(inAVC.Counts, avc.Counts[i])
+			}
+		}
+		got := BestNumericSplitInInterval(Gini, 0, baseLeft, loObserved, lo, inAVC, stats.ClassTotals)
+		if !got.Found {
+			t.Fatalf("trial %d: interval search found nothing", trial)
+		}
+		if got.Threshold != full.Threshold || got.Quality != full.Quality {
+			t.Fatalf("trial %d: interval search %+v != full search %+v", trial, got, full)
+		}
+	}
+}
+
+func TestBestNumericSplitInIntervalEmptyStuckSet(t *testing.T) {
+	// Only the lo candidate is available.
+	got := BestNumericSplitInInterval(Gini, 0, []int64{3, 1}, true, 5.0,
+		&NumericAVC{}, []int64{5, 5})
+	if !got.Found || got.Threshold != 5.0 {
+		t.Fatalf("got %+v, want split at lo=5", got)
+	}
+	// lo not observed and nothing stuck: no candidates.
+	got = BestNumericSplitInInterval(Gini, 0, []int64{3, 1}, false, 5.0,
+		&NumericAVC{}, []int64{5, 5})
+	if got.Found {
+		t.Fatalf("expected no candidates, got %+v", got)
+	}
+}
+
+func TestAVCBuilderMatchesBuildNodeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tuples := separableTuples(rng, 300)
+	schema := methodTestSchema()
+	b := NewAVCBuilder(schema)
+	for _, tp := range tuples {
+		b.Add(tp)
+	}
+	a := b.Stats()
+	c := BuildNodeStats(schema, tuples)
+	for i := range a.ClassTotals {
+		if a.ClassTotals[i] != c.ClassTotals[i] {
+			t.Fatal("class totals differ")
+		}
+	}
+	for attr := range schema.Attributes {
+		if a.Num[attr] == nil {
+			continue
+		}
+		x, y := a.Num[attr], c.Num[attr]
+		if len(x.Values) != len(y.Values) {
+			t.Fatalf("attr %d: %d vs %d distinct values", attr, len(x.Values), len(y.Values))
+		}
+		for i := range x.Values {
+			if x.Values[i] != y.Values[i] {
+				t.Fatalf("attr %d value %d differs", attr, i)
+			}
+			for cl := range x.Counts[i] {
+				if x.Counts[i][cl] != y.Counts[i][cl] {
+					t.Fatalf("attr %d counts differ", attr)
+				}
+			}
+		}
+	}
+	if a.Entries() != c.Entries() {
+		t.Errorf("entries %d vs %d", a.Entries(), c.Entries())
+	}
+}
+
+func TestAVCBuilderRestricted(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tuples := separableTuples(rng, 100)
+	schema := methodTestSchema()
+	b := NewAVCBuilderFor(schema, []int{1})
+	for _, tp := range tuples {
+		b.Add(tp)
+	}
+	stats := b.Stats()
+	if stats.Num[0] != nil || stats.Cat[2] != nil {
+		t.Error("restricted builder materialized excluded attributes")
+	}
+	if stats.Num[1] == nil || stats.Num[1].Entries() == 0 {
+		t.Error("restricted builder missing included attribute")
+	}
+	if stats.Total() != 100 {
+		t.Errorf("total %d", stats.Total())
+	}
+}

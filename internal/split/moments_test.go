@@ -1,0 +1,150 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+func TestNumMomentsAddRemove(t *testing.T) {
+	nm := NewNumMoments(2)
+	nm.Add(5, 0, 1)
+	nm.Add(7, 0, 1)
+	nm.Add(5, 0, -1)
+	if nm.Count[0] != 1 || nm.Sum[0] != 7 {
+		t.Fatalf("count=%d sum=%d", nm.Count[0], nm.Sum[0])
+	}
+	if nm.SqHi[0] != 0 || nm.SqLo[0] != 49 {
+		t.Fatalf("sumsq = (%d,%d), want (0,49)", nm.SqHi[0], nm.SqLo[0])
+	}
+}
+
+func TestNumMomentsWeightedAdd(t *testing.T) {
+	a := NewNumMoments(1)
+	a.Add(12, 0, 5)
+	b := NewNumMoments(1)
+	for i := 0; i < 5; i++ {
+		b.Add(12, 0, 1)
+	}
+	if a.Count[0] != b.Count[0] || a.Sum[0] != b.Sum[0] ||
+		a.SqHi[0] != b.SqHi[0] || a.SqLo[0] != b.SqLo[0] {
+		t.Fatalf("weighted add differs from repeated add: %+v vs %+v", a, b)
+	}
+}
+
+func TestNumMomentsLargeValues128Bit(t *testing.T) {
+	// 3 billion squared exceeds int64; the 128-bit accumulator must not
+	// overflow or lose the exact value.
+	nm := NewNumMoments(1)
+	v := 5_000_000_000.0 // v^2 = 2.5e19 > 2^64-1
+	nm.Add(v, 0, 1)
+	nm.Add(v, 0, 1)
+	if nm.SqHi[0] == 0 {
+		t.Fatal("high word unused; accumulator overflowed silently")
+	}
+	nm.Add(v, 0, -1)
+	nm.Add(v, 0, -1)
+	if nm.SqHi[0] != 0 || nm.SqLo[0] != 0 || nm.Sum[0] != 0 {
+		t.Fatalf("removal did not restore zero: %+v", nm)
+	}
+}
+
+func TestNumMomentsOrderIndependence(t *testing.T) {
+	f := func(vals []uint32, seed int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		a := NewNumMoments(1)
+		for _, v := range vals {
+			a.Add(float64(v), 0, 1)
+		}
+		b := NewNumMoments(1)
+		rng := rand.New(rand.NewSource(seed))
+		for _, i := range rng.Perm(len(vals)) {
+			b.Add(float64(vals[i]), 0, 1)
+		}
+		return a.Sum[0] == b.Sum[0] && a.SqHi[0] == b.SqHi[0] && a.SqLo[0] == b.SqLo[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentsFromStatsEqualsStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	schema := methodTestSchema()
+	tuples := separableTuples(rng, 500)
+	stats := BuildNodeStats(schema, tuples)
+	fromStats := MomentsFromStats(stats)
+	streamed := NewMoments(schema)
+	for _, tp := range tuples {
+		streamed.Add(tp, 1)
+	}
+	for i := range schema.Attributes {
+		if fromStats.Num[i] == nil {
+			for c := range streamed.Cat[i].Counts {
+				for j := range streamed.Cat[i].Counts[c] {
+					if fromStats.Cat[i].Counts[c][j] != streamed.Cat[i].Counts[c][j] {
+						t.Fatalf("cat attr %d differs", i)
+					}
+				}
+			}
+			continue
+		}
+		a, b := fromStats.Num[i], streamed.Num[i]
+		for c := 0; c < schema.ClassCount; c++ {
+			if a.Count[c] != b.Count[c] || a.Sum[c] != b.Sum[c] ||
+				a.SqHi[c] != b.SqHi[c] || a.SqLo[c] != b.SqLo[c] {
+				t.Fatalf("attr %d class %d moments differ: %+v vs %+v", i, c, a, b)
+			}
+		}
+	}
+}
+
+func TestMomentsDeletionInverse(t *testing.T) {
+	schema := methodTestSchema()
+	rng := rand.New(rand.NewSource(37))
+	tuples := separableTuples(rng, 100)
+	m := NewMoments(schema)
+	for _, tp := range tuples {
+		m.Add(tp, 1)
+	}
+	for _, tp := range tuples {
+		m.Add(tp, -1)
+	}
+	for _, c := range m.ClassTotals {
+		if c != 0 {
+			t.Fatal("class totals not restored to zero")
+		}
+	}
+	for i := range schema.Attributes {
+		if nm := m.Num[i]; nm != nil {
+			for c := range nm.Count {
+				if nm.Count[c] != 0 || nm.Sum[c] != 0 || nm.SqHi[c] != 0 || nm.SqLo[c] != 0 {
+					t.Fatalf("attr %d class %d not zeroed: %+v", i, c, nm)
+				}
+			}
+		}
+	}
+}
+
+func TestCatAVCAddNegative(t *testing.T) {
+	avc := NewCatAVC(3, 2)
+	avc.Add(1, 0, 2)
+	avc.Add(1, 0, -1)
+	if avc.Counts[1][0] != 1 {
+		t.Errorf("count = %d, want 1", avc.Counts[1][0])
+	}
+	if avc.Entries() != 3 {
+		t.Errorf("entries = %d", avc.Entries())
+	}
+}
+
+func TestTupleDataKinds(t *testing.T) {
+	tp := data.Tuple{Values: []float64{1.5, 3}, Class: 1}
+	if tp.Num(0) != 1.5 || tp.Cat(1) != 3 {
+		t.Error("accessors broken")
+	}
+}

@@ -1,0 +1,163 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+// randSplit derives an arbitrary split from fuzz inputs.
+func randSplit(attr uint8, kindBit bool, thr float64, subset uint64, q float64, found bool) Split {
+	kind := data.Numeric
+	if kindBit {
+		kind = data.Categorical
+	}
+	return Split{
+		Found:     found,
+		Attr:      int(attr % 8),
+		Kind:      kind,
+		Threshold: thr,
+		Subset:    subset,
+		Quality:   q,
+	}
+}
+
+// TestBetterIsStrictOrder: Better must be irreflexive and asymmetric —
+// the properties the deterministic tie-breaking rests on.
+func TestBetterIsStrictOrder(t *testing.T) {
+	f := func(a1 uint8, k1 bool, t1 float64, s1 uint64, q1 float64, f1 bool,
+		a2 uint8, k2 bool, t2 float64, s2 uint64, q2 float64, f2 bool) bool {
+		a := randSplit(a1, k1, t1, s1, q1, f1)
+		b := randSplit(a2, k2, t2, s2, q2, f2)
+		if a.Better(a) || b.Better(b) {
+			return false // irreflexive
+		}
+		if a.Better(b) && b.Better(a) {
+			return false // asymmetric
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBetterTotalOnDistinct: for same-kind splits with distinct ordering
+// keys, exactly one direction of Better holds (totality of the canonical
+// order).
+func TestBetterTotalOnDistinct(t *testing.T) {
+	f := func(a1, a2 uint8, t1, t2 float64, q1, q2 float64) bool {
+		a := randSplit(a1, false, t1, 0, q1, true)
+		b := randSplit(a2, false, t2, 0, q2, true)
+		if a.Quality == b.Quality && a.Attr == b.Attr && a.Threshold == b.Threshold {
+			return !a.Better(b) && !b.Better(a)
+		}
+		return a.Better(b) != b.Better(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBestNumericSplitOptimal: the returned split has minimal quality over
+// every candidate (brute-force check on random AVCs).
+func TestBestNumericSplitOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		nv := 2 + rng.Intn(20)
+		k := 2 + rng.Intn(3)
+		avc := &NumericAVC{}
+		totals := make([]int64, k)
+		for v := 0; v < nv; v++ {
+			row := make([]int64, k)
+			nonzero := false
+			for c := range row {
+				row[c] = int64(rng.Intn(5))
+				if row[c] > 0 {
+					nonzero = true
+				}
+			}
+			if !nonzero {
+				row[rng.Intn(k)] = 1
+			}
+			for c := range row {
+				totals[c] += row[c]
+			}
+			avc.Values = append(avc.Values, float64(v))
+			avc.Counts = append(avc.Counts, row)
+		}
+		for _, crit := range []Criterion{Gini, Entropy} {
+			got := BestNumericSplit(crit, 0, avc, totals)
+			if !got.Found {
+				t.Fatalf("trial %d: no split on %d values", trial, nv)
+			}
+			left := make([]int64, k)
+			for i := 0; i < nv-1; i++ {
+				for c, cnt := range avc.Counts[i] {
+					left[c] += cnt
+				}
+				q := crit.QualityFromLeft(left, totals, nil)
+				if q < got.Quality {
+					t.Fatalf("trial %d %v: candidate at %v has quality %v < chosen %v",
+						trial, crit, avc.Values[i], q, got.Quality)
+				}
+				if q == got.Quality && avc.Values[i] < got.Threshold {
+					t.Fatalf("trial %d %v: tie at smaller threshold %v not chosen",
+						trial, crit, avc.Values[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalMaskInvolution: canonicalizing a mask or its complement
+// yields the same representative.
+func TestCanonicalMaskInvolution(t *testing.T) {
+	f := func(mask uint64, p uint8) bool {
+		// Build a present set from the low 1+p%10 codes.
+		m := int(p%10) + 2
+		present := make([]int, m)
+		var full uint64
+		for i := 0; i < m; i++ {
+			present[i] = i
+			full |= 1 << uint(i)
+		}
+		mask &= full
+		if mask == 0 || mask == full {
+			return true // not a proper subset; out of scope
+		}
+		a := canonicalMask(mask, present)
+		b := canonicalMask(full&^mask, present)
+		return a == b && a&1 != 0 // contains code 0 (the smallest present)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQualityScaleInvariance: multiplying all counts by a constant leaves
+// the quality unchanged (it is a function of proportions).
+func TestQualityScaleInvariance(t *testing.T) {
+	f := func(a, b, c, d uint8, mRaw uint8) bool {
+		m := int64(mRaw%7) + 2
+		l1 := []int64{int64(a), int64(b)}
+		r1 := []int64{int64(c), int64(d)}
+		l2 := []int64{int64(a) * m, int64(b) * m}
+		r2 := []int64{int64(c) * m, int64(d) * m}
+		q1 := Gini.PartitionQuality(l1, r1)
+		q2 := Gini.PartitionQuality(l2, r2)
+		if q1 != q2 {
+			diff := q1 - q2
+			if diff < 0 {
+				diff = -diff
+			}
+			return diff < 1e-12
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

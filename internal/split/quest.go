@@ -1,0 +1,217 @@
+package split
+
+import (
+	"math"
+	"sort"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+// QuestLike is a non-impurity-based split selection method in the spirit
+// of QUEST (Loh & Shih, Statistica Sinica 1997), referenced by the paper
+// as an alternative instantiation of BOAT that avoids the instability of
+// impurity-based methods (Section 5, Figure 12 discussion).
+//
+// Attribute selection uses per-attribute association statistics:
+// the ANOVA F statistic for numeric attributes and the mean-square
+// contingency (chi-squared over degrees of freedom) for categorical
+// attributes; the attribute with the largest statistic wins (ties by
+// smaller index). For a numeric winner the split point is the midpoint
+// between the weighted means of the two class superclasses (classes with
+// class-conditional mean at or below the grand mean versus the rest) —
+// a smooth function of the data, hence far more stable under resampling
+// than an impurity arg-min. For a categorical winner the splitting subset
+// is chosen exactly from the attribute's full contingency table.
+//
+// The criterion is an exact function of constant-size sufficient
+// statistics (Moments), so QuestLike implements MomentBased and BOAT
+// verifies its coarse criteria by exact recomputation.
+type QuestLike struct{}
+
+// NewQuestLike returns the method.
+func NewQuestLike() *QuestLike { return &QuestLike{} }
+
+// Name implements Method.
+func (q *QuestLike) Name() string { return "quest" }
+
+// BestSplit implements Method by deriving the moments from the AVC-group.
+func (q *QuestLike) BestSplit(stats *NodeStats) Split {
+	return q.BestSplitFromMoments(MomentsFromStats(stats))
+}
+
+// BestSplitFromMoments implements MomentBased.
+func (q *QuestLike) BestSplitFromMoments(m *Moments) Split {
+	type scored struct {
+		attr  int
+		score float64
+	}
+	var candidates []scored
+	for i, a := range m.Schema.Attributes {
+		var s float64
+		if a.Kind == data.Numeric {
+			s = anovaF(m.Num[i], m.ClassTotals)
+		} else {
+			s = meanSquareContingency(m.Cat[i], m.ClassTotals)
+		}
+		if s > 0 || math.IsInf(s, 1) {
+			candidates = append(candidates, scored{attr: i, score: s})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].score != candidates[j].score {
+			return candidates[i].score > candidates[j].score
+		}
+		return candidates[i].attr < candidates[j].attr
+	})
+	for _, c := range candidates {
+		attr := c.attr
+		if m.Schema.Attributes[attr].Kind == data.Numeric {
+			thr, ok := questThreshold(m.Num[attr])
+			if !ok {
+				continue
+			}
+			return Split{
+				Found:     true,
+				Attr:      attr,
+				Kind:      data.Numeric,
+				Threshold: thr,
+				Quality:   -c.score,
+			}
+		}
+		sp := BestCategoricalSplit(Gini, attr, m.Cat[attr], m.ClassTotals)
+		if !sp.Found {
+			continue
+		}
+		sp.Quality = -c.score
+		return sp
+	}
+	return NoSplit()
+}
+
+// anovaF computes the one-way ANOVA F statistic of attribute values
+// grouped by class: (SSB/(k-1)) / (SSW/(n-k)) over the classes present.
+// Returns +Inf for perfect separation (SSW == 0, SSB > 0) and 0 when the
+// attribute carries no signal or the statistic is undefined.
+func anovaF(nm *NumMoments, classTotals []int64) float64 {
+	var n, sum int64
+	k := 0
+	for class, cnt := range nm.Count {
+		_ = class
+		if cnt > 0 {
+			k++
+		}
+		n += cnt
+		sum += nm.Sum[class]
+	}
+	if k < 2 || n <= int64(k) {
+		return 0
+	}
+	grand := float64(sum) / float64(n)
+	var ssb, ssw float64
+	for class, cnt := range nm.Count {
+		if cnt <= 0 {
+			continue
+		}
+		mean := float64(nm.Sum[class]) / float64(cnt)
+		d := mean - grand
+		ssb += float64(cnt) * d * d
+		ssw += nm.sq(class) - float64(nm.Sum[class])*mean
+	}
+	if ssw <= 0 {
+		if ssb > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return (ssb / float64(k-1)) / (ssw / float64(n-int64(k)))
+}
+
+// meanSquareContingency computes chi^2 / dof of the category-by-class
+// contingency table, a scale-comparable association score for categorical
+// attributes.
+func meanSquareContingency(cat *CatAVC, classTotals []int64) float64 {
+	var n int64
+	classSums := make([]int64, len(classTotals))
+	var rows int
+	for _, row := range cat.Counts {
+		var rowN int64
+		for class, v := range row {
+			rowN += v
+			classSums[class] += v
+		}
+		if rowN > 0 {
+			rows++
+		}
+		n += rowN
+	}
+	classes := 0
+	for _, v := range classSums {
+		if v > 0 {
+			classes++
+		}
+	}
+	dof := (rows - 1) * (classes - 1)
+	if dof <= 0 || n == 0 {
+		return 0
+	}
+	var chi2 float64
+	for _, row := range cat.Counts {
+		var rowN int64
+		for _, v := range row {
+			rowN += v
+		}
+		if rowN == 0 {
+			continue
+		}
+		for class, v := range row {
+			if classSums[class] == 0 {
+				continue
+			}
+			expected := float64(rowN) * float64(classSums[class]) / float64(n)
+			d := float64(v) - expected
+			chi2 += d * d / expected
+		}
+	}
+	return chi2 / float64(dof)
+}
+
+// questThreshold computes the split point: classes are partitioned into
+// the superclass with class-conditional mean <= grand mean and the rest;
+// the threshold is the midpoint of the two superclass means. Both sides of
+// the resulting split are guaranteed nonempty (each superclass has values
+// at or beyond its own mean).
+func questThreshold(nm *NumMoments) (float64, bool) {
+	var n, sum int64
+	for class, cnt := range nm.Count {
+		n += cnt
+		sum += nm.Sum[class]
+	}
+	if n == 0 {
+		return 0, false
+	}
+	grand := float64(sum) / float64(n)
+	var loN, hiN int64
+	var loSum, hiSum int64
+	for class, cnt := range nm.Count {
+		if cnt <= 0 {
+			continue
+		}
+		mean := float64(nm.Sum[class]) / float64(cnt)
+		if mean <= grand {
+			loN += cnt
+			loSum += nm.Sum[class]
+		} else {
+			hiN += cnt
+			hiSum += nm.Sum[class]
+		}
+	}
+	if loN == 0 || hiN == 0 {
+		return 0, false
+	}
+	muLo := float64(loSum) / float64(loN)
+	muHi := float64(hiSum) / float64(hiN)
+	if muLo >= muHi {
+		return 0, false
+	}
+	return (muLo + muHi) / 2, true
+}

@@ -1,0 +1,169 @@
+package split
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+func TestQuestPicksPredictiveAttribute(t *testing.T) {
+	// x separates the classes, y is noise.
+	schema := data.MustSchema([]data.Attribute{
+		{Name: "x", Kind: data.Numeric},
+		{Name: "y", Kind: data.Numeric},
+	}, 2)
+	rng := rand.New(rand.NewSource(3))
+	var tuples []data.Tuple
+	for i := 0; i < 400; i++ {
+		class := i % 2
+		x := float64(10 + class*100 + rng.Intn(20))
+		tuples = append(tuples, data.Tuple{Values: []float64{x, float64(rng.Intn(1000))}, Class: class})
+	}
+	got := NewQuestLike().BestSplit(BuildNodeStats(schema, tuples))
+	if !got.Found || got.Attr != 0 {
+		t.Fatalf("split %+v, want attribute x", got)
+	}
+	// Threshold must separate the class means (~20 and ~120).
+	if got.Threshold < 30 || got.Threshold > 110 {
+		t.Errorf("threshold %v outside the between-means region", got.Threshold)
+	}
+}
+
+func TestQuestPicksCategoricalWhenStronger(t *testing.T) {
+	schema := data.MustSchema([]data.Attribute{
+		{Name: "x", Kind: data.Numeric},
+		{Name: "c", Kind: data.Categorical, Cardinality: 3},
+	}, 2)
+	rng := rand.New(rand.NewSource(4))
+	var tuples []data.Tuple
+	for i := 0; i < 600; i++ {
+		class := i % 2
+		code := class // perfectly predictive
+		tuples = append(tuples, data.Tuple{
+			Values: []float64{float64(rng.Intn(100)), float64(code)},
+			Class:  class,
+		})
+	}
+	got := NewQuestLike().BestSplit(BuildNodeStats(schema, tuples))
+	if !got.Found || got.Attr != 1 || got.Kind != data.Categorical {
+		t.Fatalf("split %+v, want categorical attribute", got)
+	}
+	if got.Subset != 0b001 {
+		t.Errorf("subset %b, want {0}", got.Subset)
+	}
+}
+
+func TestQuestNoSignalIsLeaf(t *testing.T) {
+	schema := data.MustSchema([]data.Attribute{{Name: "x", Kind: data.Numeric}}, 2)
+	var tuples []data.Tuple
+	for i := 0; i < 100; i++ {
+		tuples = append(tuples, data.Tuple{Values: []float64{42}, Class: i % 2})
+	}
+	if got := NewQuestLike().BestSplit(BuildNodeStats(schema, tuples)); got.Found {
+		t.Errorf("constant attribute produced split %+v", got)
+	}
+}
+
+func TestQuestThresholdAlwaysValid(t *testing.T) {
+	// Property: both sides of the QUEST split are non-empty.
+	rng := rand.New(rand.NewSource(5))
+	schema := data.MustSchema([]data.Attribute{{Name: "x", Kind: data.Numeric}}, 2)
+	for trial := 0; trial < 200; trial++ {
+		n := 10 + rng.Intn(100)
+		var tuples []data.Tuple
+		for i := 0; i < n; i++ {
+			tuples = append(tuples, data.Tuple{
+				Values: []float64{float64(rng.Intn(30))},
+				Class:  rng.Intn(2),
+			})
+		}
+		got := NewQuestLike().BestSplit(BuildNodeStats(schema, tuples))
+		if !got.Found {
+			continue
+		}
+		var left, right int
+		for _, tp := range tuples {
+			if got.Left(tp) {
+				left++
+			} else {
+				right++
+			}
+		}
+		if left == 0 || right == 0 {
+			t.Fatalf("trial %d: split %+v produces empty side (%d/%d)", trial, got, left, right)
+		}
+	}
+}
+
+func TestQuestMomentsEquivalence(t *testing.T) {
+	// BestSplit (from AVC stats) and BestSplitFromMoments (from streamed
+	// moments) must agree exactly — this is what BOAT's exact
+	// verification of moment-based methods rests on.
+	rng := rand.New(rand.NewSource(6))
+	schema := methodTestSchema()
+	for trial := 0; trial < 50; trial++ {
+		tuples := separableTuples(rng, 300)
+		stats := BuildNodeStats(schema, tuples)
+		q := NewQuestLike()
+		a := q.BestSplit(stats)
+		m := NewMoments(schema)
+		// Stream in a scrambled order to prove order-independence.
+		perm := rng.Perm(len(tuples))
+		for _, i := range perm {
+			m.Add(tuples[i], 1)
+		}
+		b := q.BestSplitFromMoments(m)
+		if !a.Equal(b) {
+			t.Fatalf("trial %d: AVC-derived %+v != moment-derived %+v", trial, a, b)
+		}
+	}
+}
+
+func TestAnovaFPerfectSeparation(t *testing.T) {
+	nm := NewNumMoments(2)
+	for i := 0; i < 10; i++ {
+		nm.Add(1, 0, 1)
+		nm.Add(100, 1, 1)
+	}
+	if f := anovaF(nm, []int64{10, 10}); !math.IsInf(f, 1) {
+		t.Errorf("perfectly separated ANOVA F = %v, want +Inf", f)
+	}
+}
+
+func TestAnovaFNoSignal(t *testing.T) {
+	nm := NewNumMoments(2)
+	for i := 0; i < 10; i++ {
+		nm.Add(float64(i), 0, 1)
+		nm.Add(float64(i), 1, 1)
+	}
+	if f := anovaF(nm, []int64{10, 10}); f != 0 {
+		t.Errorf("identical distributions ANOVA F = %v, want 0", f)
+	}
+}
+
+func TestMeanSquareContingency(t *testing.T) {
+	// Perfect association.
+	avc := NewCatAVC(2, 2)
+	avc.Counts[0] = []int64{10, 0}
+	avc.Counts[1] = []int64{0, 10}
+	strong := meanSquareContingency(avc, []int64{10, 10})
+	// No association.
+	flat := NewCatAVC(2, 2)
+	flat.Counts[0] = []int64{5, 5}
+	flat.Counts[1] = []int64{5, 5}
+	weak := meanSquareContingency(flat, []int64{10, 10})
+	if strong <= weak {
+		t.Errorf("strong association %v <= weak %v", strong, weak)
+	}
+	if weak != 0 {
+		t.Errorf("independent table score = %v, want 0", weak)
+	}
+	// Degenerate: single row.
+	single := NewCatAVC(2, 2)
+	single.Counts[0] = []int64{5, 5}
+	if s := meanSquareContingency(single, []int64{5, 5}); s != 0 {
+		t.Errorf("single-category score = %v, want 0", s)
+	}
+}

@@ -1,0 +1,123 @@
+package split
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+// Split is a splitting criterion in the paper's sense: the splitting
+// attribute together with a splitting predicate. Numeric splits route a
+// tuple left iff X <= Threshold; categorical splits route left iff the
+// category's bit is set in Subset.
+//
+// Quality is the value the split selection method minimized (weighted
+// impurity for impurity-based methods); it is carried for verification and
+// deterministic comparison, not for routing.
+type Split struct {
+	Found     bool
+	Attr      int
+	Kind      data.Kind
+	Threshold float64
+	Subset    uint64
+	Quality   float64
+}
+
+// NoSplit is the "stop: make this node a leaf" result.
+func NoSplit() Split { return Split{Found: false, Quality: math.Inf(1)} }
+
+// Left reports whether tuple t routes to the left child.
+func (s Split) Left(t data.Tuple) bool {
+	if s.Kind == data.Numeric {
+		return t.Values[s.Attr] <= s.Threshold
+	}
+	code := uint(t.Values[s.Attr])
+	return code < 64 && s.Subset&(1<<code) != 0
+}
+
+// Equal reports exact equality of two splitting criteria (routing fields
+// only; Quality is ignored, because an incrementally maintained tree may
+// legitimately carry a recomputed quality for the same criterion).
+func (s Split) Equal(o Split) bool {
+	if s.Found != o.Found {
+		return false
+	}
+	if !s.Found {
+		return true
+	}
+	if s.Attr != o.Attr || s.Kind != o.Kind {
+		return false
+	}
+	if s.Kind == data.Numeric {
+		return s.Threshold == o.Threshold
+	}
+	return s.Subset == o.Subset
+}
+
+// Better reports whether s is strictly preferable to o under the canonical
+// deterministic order: lower quality first, then smaller attribute index,
+// then smaller threshold (numeric) or smaller subset mask (categorical).
+// A not-found split is worse than every found split.
+func (s Split) Better(o Split) bool {
+	if !s.Found {
+		return false
+	}
+	if !o.Found {
+		return true
+	}
+	if s.Quality != o.Quality {
+		return s.Quality < o.Quality
+	}
+	if s.Attr != o.Attr {
+		return s.Attr < o.Attr
+	}
+	if s.Kind == data.Numeric && o.Kind == data.Numeric {
+		return s.Threshold < o.Threshold
+	}
+	if s.Kind == data.Categorical && o.Kind == data.Categorical {
+		return s.Subset < o.Subset
+	}
+	// Attribute indexes are equal, so kinds must agree; this branch is
+	// unreachable for well-formed inputs.
+	return s.Kind < o.Kind
+}
+
+// String renders the criterion for tree printing.
+func (s Split) String() string {
+	if !s.Found {
+		return "<leaf>"
+	}
+	if s.Kind == data.Numeric {
+		return fmt.Sprintf("attr%d <= %g", s.Attr, s.Threshold)
+	}
+	return fmt.Sprintf("attr%d in %s", s.Attr, subsetString(s.Subset))
+}
+
+// DescribeWith renders the criterion with attribute names from the schema.
+func (s Split) DescribeWith(schema *data.Schema) string {
+	if !s.Found {
+		return "<leaf>"
+	}
+	name := schema.Attributes[s.Attr].Name
+	if s.Kind == data.Numeric {
+		return fmt.Sprintf("%s <= %g", name, s.Threshold)
+	}
+	return fmt.Sprintf("%s in %s", name, subsetString(s.Subset))
+}
+
+func subsetString(mask uint64) string {
+	out := "{"
+	first := true
+	for mask != 0 {
+		c := bits.TrailingZeros64(mask)
+		if !first {
+			out += ","
+		}
+		out += fmt.Sprint(c)
+		first = false
+		mask &= mask - 1
+	}
+	return out + "}"
+}

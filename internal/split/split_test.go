@@ -1,0 +1,97 @@
+package split
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+func TestSplitLeftNumeric(t *testing.T) {
+	s := Split{Found: true, Attr: 0, Kind: data.Numeric, Threshold: 10}
+	if !s.Left(data.Tuple{Values: []float64{10}}) {
+		t.Error("value == threshold must route left (X <= x)")
+	}
+	if s.Left(data.Tuple{Values: []float64{10.0001}}) {
+		t.Error("value above threshold routed left")
+	}
+}
+
+func TestSplitLeftCategorical(t *testing.T) {
+	s := Split{Found: true, Attr: 1, Kind: data.Categorical, Subset: 0b1010}
+	if !s.Left(data.Tuple{Values: []float64{0, 3}}) {
+		t.Error("code 3 should be in subset {1,3}")
+	}
+	if s.Left(data.Tuple{Values: []float64{0, 2}}) {
+		t.Error("code 2 should not be in subset {1,3}")
+	}
+}
+
+func TestSplitBetterOrdering(t *testing.T) {
+	num := func(attr int, thr, q float64) Split {
+		return Split{Found: true, Attr: attr, Kind: data.Numeric, Threshold: thr, Quality: q}
+	}
+	cat := func(attr int, mask uint64, q float64) Split {
+		return Split{Found: true, Attr: attr, Kind: data.Categorical, Subset: mask, Quality: q}
+	}
+	cases := []struct {
+		name string
+		a, b Split
+		want bool
+	}{
+		{"lower quality wins", num(3, 5, 0.1), num(0, 1, 0.2), true},
+		{"higher quality loses", num(0, 1, 0.2), num(3, 5, 0.1), false},
+		{"tie: smaller attr", num(1, 5, 0.1), num(2, 1, 0.1), true},
+		{"tie: same attr smaller threshold", num(1, 3, 0.1), num(1, 5, 0.1), true},
+		{"tie: same attr smaller subset", cat(1, 0b01, 0.1), cat(1, 0b11, 0.1), true},
+		{"found beats not-found", num(5, 9, 0.9), NoSplit(), true},
+		{"not-found never better", NoSplit(), num(5, 9, 0.9), false},
+		{"not-found vs not-found", NoSplit(), NoSplit(), false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Better(tc.b); got != tc.want {
+			t.Errorf("%s: Better = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSplitEqual(t *testing.T) {
+	a := Split{Found: true, Attr: 1, Kind: data.Numeric, Threshold: 5, Quality: 0.3}
+	b := a
+	b.Quality = 0.9 // quality ignored
+	if !a.Equal(b) {
+		t.Error("quality must not affect Equal")
+	}
+	b = a
+	b.Threshold = 6
+	if a.Equal(b) {
+		t.Error("different thresholds reported equal")
+	}
+	if !NoSplit().Equal(NoSplit()) {
+		t.Error("two leaves should be equal")
+	}
+	if a.Equal(NoSplit()) {
+		t.Error("split equal to leaf")
+	}
+}
+
+func TestSplitStrings(t *testing.T) {
+	schema := data.MustSchema([]data.Attribute{
+		{Name: "age", Kind: data.Numeric},
+		{Name: "color", Kind: data.Categorical, Cardinality: 4},
+	}, 2)
+	n := Split{Found: true, Attr: 0, Kind: data.Numeric, Threshold: 39}
+	if got := n.DescribeWith(schema); got != "age <= 39" {
+		t.Errorf("DescribeWith = %q", got)
+	}
+	c := Split{Found: true, Attr: 1, Kind: data.Categorical, Subset: 0b0101}
+	if got := c.DescribeWith(schema); got != "color in {0,2}" {
+		t.Errorf("DescribeWith = %q", got)
+	}
+	if !strings.Contains(c.String(), "attr1") {
+		t.Errorf("String = %q", c.String())
+	}
+	if NoSplit().String() != "<leaf>" {
+		t.Error("leaf String wrong")
+	}
+}

@@ -1,0 +1,186 @@
+package split
+
+import (
+	"sort"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+// exhaustiveSubsetLimit bounds the number of *present* categories for
+// which multi-class subset search is exhaustive (2^(m-1) subsets). Beyond
+// the limit a deterministic greedy local search is used; because every
+// builder shares this single implementation, trees remain identical across
+// algorithms regardless. Two-class problems always use the exact
+// Breiman sorting theorem instead.
+const exhaustiveSubsetLimit = 12
+
+// BestCategoricalSplit finds the best binary split X in Y of one
+// categorical attribute from its AVC-set.
+//
+// The returned subset is canonical: it only contains categories present in
+// the family (absent categories route right), and it contains the
+// smallest present category code — between a subset and its complement
+// (which induce mirror partitions) the canonical representative is unique.
+//
+// For two class labels the search is exact via Breiman's theorem: sort the
+// present categories by their class-0 proportion; some optimal subset is a
+// prefix of that order. For more classes the search is exhaustive up to
+// exhaustiveSubsetLimit present categories and greedy beyond.
+func BestCategoricalSplit(crit Criterion, attr int, avc *CatAVC, classTotals []int64) Split {
+	k := len(classTotals)
+	present := make([]int, 0, len(avc.Counts))
+	for c, row := range avc.Counts {
+		var n int64
+		for _, v := range row {
+			n += v
+		}
+		if n > 0 {
+			present = append(present, c)
+		}
+	}
+	if len(present) < 2 {
+		return NoSplit()
+	}
+
+	var bestMask uint64
+	bestQ := -1.0
+	found := false
+	left := make([]int64, k)
+	scratch := make([]int64, k)
+
+	evalMask := func(mask uint64) {
+		for j := range left {
+			left[j] = 0
+		}
+		for _, c := range present {
+			if mask&(1<<uint(c)) != 0 {
+				for j, v := range avc.Counts[c] {
+					left[j] += v
+				}
+			}
+		}
+		q := crit.QualityFromLeft(left, classTotals, scratch)
+		if !found || q < bestQ || (q == bestQ && mask < bestMask) {
+			found = true
+			bestQ = q
+			bestMask = mask
+		}
+	}
+
+	if k == 2 {
+		// Breiman's theorem: sort by class-0 proportion (ties by code) and
+		// evaluate the |present|-1 proper prefixes.
+		order := make([]int, len(present))
+		copy(order, present)
+		prop := func(c int) float64 {
+			row := avc.Counts[c]
+			return float64(row[0]) / float64(row[0]+row[1])
+		}
+		sort.Slice(order, func(i, j int) bool {
+			pi, pj := prop(order[i]), prop(order[j])
+			if pi != pj {
+				return pi < pj
+			}
+			return order[i] < order[j]
+		})
+		var mask uint64
+		for i := 0; i < len(order)-1; i++ {
+			mask |= 1 << uint(order[i])
+			evalMask(canonicalMask(mask, present))
+		}
+	} else if len(present) <= exhaustiveSubsetLimit {
+		// Exhaustive: enumerate subsets of present categories that contain
+		// the smallest present code (canonical form) and are proper.
+		m := len(present)
+		for bitsSet := uint64(1); bitsSet < 1<<uint(m-1); bitsSet++ {
+			// bitsSet indexes present[1..m-1]; present[0] is always in.
+			mask := uint64(1) << uint(present[0])
+			for i := 1; i < m; i++ {
+				if bitsSet&(1<<uint(i-1)) != 0 {
+					mask |= 1 << uint(present[i])
+				}
+			}
+			evalMask(mask)
+		}
+		// The singleton {present[0]} as well.
+		evalMask(1 << uint(present[0]))
+	} else {
+		// Greedy local search: start from the best single-category move
+		// ordering by first-class proportion (as in the 2-class case) and
+		// then hill-climb by single-category swaps. Deterministic.
+		order := make([]int, len(present))
+		copy(order, present)
+		prop := func(c int) float64 {
+			row := avc.Counts[c]
+			var n int64
+			for _, v := range row {
+				n += v
+			}
+			return float64(row[0]) / float64(n)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			pi, pj := prop(order[i]), prop(order[j])
+			if pi != pj {
+				return pi < pj
+			}
+			return order[i] < order[j]
+		})
+		var mask uint64
+		for i := 0; i < len(order)-1; i++ {
+			mask |= 1 << uint(order[i])
+			evalMask(canonicalMask(mask, present))
+		}
+		improved := true
+		for improved {
+			improved = false
+			cur := bestMask
+			for _, c := range present {
+				cand := cur ^ (1 << uint(c))
+				if cand == 0 || !properSubset(cand, present) {
+					continue
+				}
+				before := bestQ
+				evalMask(canonicalMask(cand, present))
+				if bestQ < before {
+					improved = true
+				}
+			}
+		}
+	}
+
+	if !found {
+		return NoSplit()
+	}
+	return Split{
+		Found:   true,
+		Attr:    attr,
+		Kind:    data.Categorical,
+		Subset:  bestMask,
+		Quality: bestQ,
+	}
+}
+
+// canonicalMask returns mask or its complement over the present
+// categories, whichever contains the smallest present code.
+func canonicalMask(mask uint64, present []int) uint64 {
+	var full uint64
+	for _, c := range present {
+		full |= 1 << uint(c)
+	}
+	mask &= full
+	if mask&(1<<uint(present[0])) != 0 {
+		return mask
+	}
+	return full &^ mask
+}
+
+// properSubset reports whether mask is a nonempty proper subset of the
+// present categories.
+func properSubset(mask uint64, present []int) bool {
+	var full uint64
+	for _, c := range present {
+		full |= 1 << uint(c)
+	}
+	mask &= full
+	return mask != 0 && mask != full
+}

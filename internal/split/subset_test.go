@@ -1,0 +1,203 @@
+package split
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// bruteForceBestSubset enumerates every canonical proper subset of the
+// present categories and returns the minimal quality and its mask under
+// the canonical order.
+func bruteForceBestSubset(crit Criterion, avc *CatAVC, classTotals []int64) (uint64, float64, bool) {
+	var present []int
+	for c, row := range avc.Counts {
+		var n int64
+		for _, v := range row {
+			n += v
+		}
+		if n > 0 {
+			present = append(present, c)
+		}
+	}
+	if len(present) < 2 {
+		return 0, 0, false
+	}
+	k := len(classTotals)
+	bestQ := 0.0
+	var bestMask uint64
+	found := false
+	m := len(present)
+	for sel := uint64(1); sel < 1<<uint(m); sel++ {
+		if sel == (1<<uint(m))-1 {
+			continue // full set
+		}
+		var mask uint64
+		for i := 0; i < m; i++ {
+			if sel&(1<<uint(i)) != 0 {
+				mask |= 1 << uint(present[i])
+			}
+		}
+		// Canonical: must contain the smallest present code.
+		if mask&(1<<uint(present[0])) == 0 {
+			continue
+		}
+		left := make([]int64, k)
+		for _, c := range present {
+			if mask&(1<<uint(c)) != 0 {
+				for j, v := range avc.Counts[c] {
+					left[j] += v
+				}
+			}
+		}
+		q := crit.QualityFromLeft(left, classTotals, nil)
+		if !found || q < bestQ || (q == bestQ && mask < bestMask) {
+			found, bestQ, bestMask = true, q, mask
+		}
+	}
+	return bestMask, bestQ, found
+}
+
+func randomCatAVC(rng *rand.Rand, card, k int) (*CatAVC, []int64) {
+	avc := NewCatAVC(card, k)
+	totals := make([]int64, k)
+	for c := 0; c < card; c++ {
+		if rng.Intn(4) == 0 {
+			continue // leave some categories absent
+		}
+		for j := 0; j < k; j++ {
+			n := int64(rng.Intn(20))
+			avc.Counts[c][j] = n
+			totals[j] += n
+		}
+	}
+	return avc, totals
+}
+
+func TestBestCategoricalSplitMatchesBruteForceTwoClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		card := 2 + rng.Intn(8)
+		avc, totals := randomCatAVC(rng, card, 2)
+		got := BestCategoricalSplit(Gini, 0, avc, totals)
+		wantMask, wantQ, wantFound := bruteForceBestSubset(Gini, avc, totals)
+		if got.Found != wantFound {
+			t.Fatalf("trial %d: found %v, want %v (avc=%v)", trial, got.Found, wantFound, avc.Counts)
+		}
+		if !got.Found {
+			continue
+		}
+		// Breiman's theorem guarantees optimal quality; the specific mask
+		// may differ only when qualities tie, in which case the shared
+		// implementation is the source of truth for all builders.
+		if got.Quality != wantQ {
+			t.Fatalf("trial %d: quality %v, want %v (avc=%v mask=%b wantMask=%b)",
+				trial, got.Quality, wantQ, avc.Counts, got.Subset, wantMask)
+		}
+	}
+}
+
+func TestBestCategoricalSplitMatchesBruteForceMultiClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 150; trial++ {
+		card := 2 + rng.Intn(6) // within the exhaustive limit
+		k := 3 + rng.Intn(2)
+		avc, totals := randomCatAVC(rng, card, k)
+		got := BestCategoricalSplit(Gini, 0, avc, totals)
+		wantMask, wantQ, wantFound := bruteForceBestSubset(Gini, avc, totals)
+		if got.Found != wantFound {
+			t.Fatalf("trial %d: found %v, want %v", trial, got.Found, wantFound)
+		}
+		if !got.Found {
+			continue
+		}
+		if got.Quality != wantQ || got.Subset != wantMask {
+			t.Fatalf("trial %d: got mask=%b q=%v, want mask=%b q=%v (avc=%v)",
+				trial, got.Subset, got.Quality, wantMask, wantQ, avc.Counts)
+		}
+	}
+}
+
+func TestBestCategoricalSplitCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		avc, totals := randomCatAVC(rng, 2+rng.Intn(10), 2)
+		got := BestCategoricalSplit(Gini, 0, avc, totals)
+		if !got.Found {
+			continue
+		}
+		smallest := -1
+		for c, row := range avc.Counts {
+			var n int64
+			for _, v := range row {
+				n += v
+			}
+			if n > 0 {
+				smallest = c
+				break
+			}
+		}
+		if got.Subset&(1<<uint(smallest)) == 0 {
+			t.Fatalf("trial %d: canonical subset %b missing smallest present code %d",
+				trial, got.Subset, smallest)
+		}
+		// Subset must only contain present categories.
+		for c := range avc.Counts {
+			var n int64
+			for _, v := range avc.Counts[c] {
+				n += v
+			}
+			if n == 0 && got.Subset&(1<<uint(c)) != 0 {
+				t.Fatalf("trial %d: subset %b contains absent category %d", trial, got.Subset, c)
+			}
+		}
+	}
+}
+
+func TestBestCategoricalSplitDegenerate(t *testing.T) {
+	// One present category: no split possible.
+	avc := NewCatAVC(4, 2)
+	avc.Counts[2][0] = 10
+	if got := BestCategoricalSplit(Gini, 0, avc, []int64{10, 0}); got.Found {
+		t.Error("single present category should not split")
+	}
+	// Empty AVC.
+	empty := NewCatAVC(4, 2)
+	if got := BestCategoricalSplit(Gini, 0, empty, []int64{0, 0}); got.Found {
+		t.Error("empty AVC should not split")
+	}
+}
+
+func TestBestCategoricalSplitPerfectSeparation(t *testing.T) {
+	avc := NewCatAVC(4, 2)
+	avc.Counts[0] = []int64{10, 0}
+	avc.Counts[1] = []int64{0, 10}
+	avc.Counts[2] = []int64{10, 0}
+	avc.Counts[3] = []int64{0, 10}
+	got := BestCategoricalSplit(Gini, 0, avc, []int64{20, 20})
+	if !got.Found || got.Quality != 0 {
+		t.Fatalf("perfect separation: %+v", got)
+	}
+	if got.Subset != 0b0101 {
+		t.Errorf("subset = %b, want {0,2}", got.Subset)
+	}
+}
+
+func TestBestCategoricalSplitLargeDomainGreedy(t *testing.T) {
+	// Beyond the exhaustive limit the greedy search must still produce a
+	// valid canonical proper subset with quality no worse than the best
+	// Breiman prefix.
+	rng := rand.New(rand.NewSource(19))
+	avc, totals := randomCatAVC(rng, 20, 3)
+	got := BestCategoricalSplit(Gini, 0, avc, totals)
+	if !got.Found {
+		t.Fatal("no split on a 20-category 3-class table")
+	}
+	if bits.OnesCount64(got.Subset) == 0 {
+		t.Fatal("empty subset")
+	}
+	node := Gini.Impurity(totals)
+	if got.Quality > node {
+		t.Errorf("greedy split quality %v exceeds node impurity %v", got.Quality, node)
+	}
+}

@@ -1,0 +1,196 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/split"
+)
+
+// Binary serialization of trees: a small tag-prefixed pre-order encoding.
+// The schema is not embedded; DecodeTree must be given the schema the tree
+// was built for (mirroring how models are deployed next to their feature
+// definitions).
+
+const (
+	tagLeaf     = byte(0)
+	tagNumeric  = byte(1)
+	tagCategory = byte(2)
+	encVersion  = byte(1)
+)
+
+// EncodeSubtree serializes a subtree rooted at n (same format as
+// EncodeTree).
+func EncodeSubtree(n *Node, schema *data.Schema) ([]byte, error) {
+	return EncodeTree(&Tree{Schema: schema, Root: n})
+}
+
+// DecodeSubtree reverses EncodeSubtree.
+func DecodeSubtree(raw []byte, schema *data.Schema) (*Node, error) {
+	t, err := DecodeTree(raw, schema)
+	if err != nil {
+		return nil, err
+	}
+	return t.Root, nil
+}
+
+// EncodeTree serializes the tree.
+func EncodeTree(t *Tree) ([]byte, error) {
+	if t == nil || t.Root == nil {
+		return nil, errors.New("tree: encoding nil tree")
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(encVersion)
+	var encode func(n *Node) error
+	encode = func(n *Node) error {
+		if n == nil {
+			return errors.New("tree: internal node with nil child")
+		}
+		if n.IsLeaf() {
+			buf.WriteByte(tagLeaf)
+			var tmp [8]byte
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(n.Label))
+			buf.Write(tmp[:4])
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(len(n.ClassCounts)))
+			buf.Write(tmp[:4])
+			for _, c := range n.ClassCounts {
+				binary.LittleEndian.PutUint64(tmp[:], uint64(c))
+				buf.Write(tmp[:])
+			}
+			return nil
+		}
+		var tmp [8]byte
+		if n.Crit.Kind == data.Numeric {
+			buf.WriteByte(tagNumeric)
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(n.Crit.Attr))
+			buf.Write(tmp[:4])
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(n.Crit.Threshold))
+			buf.Write(tmp[:])
+		} else {
+			buf.WriteByte(tagCategory)
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(n.Crit.Attr))
+			buf.Write(tmp[:4])
+			binary.LittleEndian.PutUint64(tmp[:], n.Crit.Subset)
+			buf.Write(tmp[:])
+		}
+		if err := encode(n.Left); err != nil {
+			return err
+		}
+		return encode(n.Right)
+	}
+	if err := encode(t.Root); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTree reconstructs a tree encoded by EncodeTree for the schema.
+func DecodeTree(raw []byte, schema *data.Schema) (*Tree, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("tree: empty encoding")
+	}
+	if raw[0] != encVersion {
+		return nil, fmt.Errorf("tree: unsupported encoding version %d", raw[0])
+	}
+	r := bytes.NewReader(raw[1:])
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	var decode func() (*Node, error)
+	decode = func() (*Node, error) {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagLeaf:
+			label, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			nCounts, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			if int(nCounts) > schema.ClassCount {
+				return nil, fmt.Errorf("tree: leaf has %d class counts, schema has %d classes",
+					nCounts, schema.ClassCount)
+			}
+			var counts []int64
+			for i := uint32(0); i < nCounts; i++ {
+				v, err := readU64()
+				if err != nil {
+					return nil, err
+				}
+				counts = append(counts, int64(v))
+			}
+			if int(label) >= schema.ClassCount {
+				return nil, fmt.Errorf("tree: leaf label %d out of range", label)
+			}
+			return &Node{Label: int(label), ClassCounts: counts}, nil
+		case tagNumeric, tagCategory:
+			attr, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			if int(attr) >= len(schema.Attributes) {
+				return nil, fmt.Errorf("tree: attribute %d out of range", attr)
+			}
+			bitsv, err := readU64()
+			if err != nil {
+				return nil, err
+			}
+			n := &Node{}
+			if tag == tagNumeric {
+				if schema.Attributes[attr].Kind != data.Numeric {
+					return nil, fmt.Errorf("tree: numeric split on categorical attribute %d", attr)
+				}
+				n.Crit = split.Split{
+					Found: true, Attr: int(attr), Kind: data.Numeric,
+					Threshold: math.Float64frombits(bitsv),
+				}
+			} else {
+				if schema.Attributes[attr].Kind != data.Categorical {
+					return nil, fmt.Errorf("tree: categorical split on numeric attribute %d", attr)
+				}
+				n.Crit = split.Split{
+					Found: true, Attr: int(attr), Kind: data.Categorical,
+					Subset: bitsv,
+				}
+			}
+			if n.Left, err = decode(); err != nil {
+				return nil, err
+			}
+			if n.Right, err = decode(); err != nil {
+				return nil, err
+			}
+			return n, nil
+		default:
+			return nil, fmt.Errorf("tree: unknown node tag %d", tag)
+		}
+	}
+	root, err := decode()
+	if err != nil {
+		return nil, fmt.Errorf("tree: decode: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("tree: %d trailing bytes after decode", r.Len())
+	}
+	return &Tree{Schema: schema, Root: root}, nil
+}

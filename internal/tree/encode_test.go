@@ -1,0 +1,85 @@
+package tree
+
+import (
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	orig := testTree()
+	raw, err := EncodeTree(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTree(raw, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Fatalf("round-trip differs: %s", got.Diff(orig))
+	}
+	// Class counts round-trip too.
+	if got.Root.Right.ClassCounts[1] != 7 {
+		t.Errorf("class counts lost: %v", got.Root.Right.ClassCounts)
+	}
+}
+
+func TestEncodeSingleLeaf(t *testing.T) {
+	orig := &Tree{Schema: testSchema(), Root: &Node{Label: 1, ClassCounts: []int64{1, 5}}}
+	raw, err := EncodeTree(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTree(raw, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Fatal("single leaf round-trip failed")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := EncodeTree(nil); err == nil {
+		t.Error("nil tree encoded")
+	}
+	broken := testTree()
+	broken.Root.Left = nil
+	if _, err := EncodeTree(broken); err == nil {
+		t.Error("internal node with nil child encoded")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := testSchema()
+	good, _ := EncodeTree(testTree())
+
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"empty", nil},
+		{"bad version", append([]byte{99}, good[1:]...)},
+		{"truncated", good[:len(good)-4]},
+		{"trailing garbage", append(append([]byte{}, good...), 1, 2, 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeTree(tc.raw, s); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+
+	t.Run("schema mismatch attr kind", func(t *testing.T) {
+		// Decode against a schema where attr 0 is categorical.
+		other := data.MustSchema([]data.Attribute{
+			{Name: "age", Kind: data.Categorical, Cardinality: 4},
+			{Name: "color", Kind: data.Categorical, Cardinality: 4},
+		}, 2)
+		if _, err := DecodeTree(good, other); err == nil {
+			t.Error("expected kind mismatch error")
+		}
+	})
+}

@@ -18,7 +18,9 @@
 package boat_test
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -363,6 +365,50 @@ func BenchmarkAblationSpill(b *testing.B) {
 				bt.Close()
 			}
 			b.ReportMetric(spilled/float64(b.N), "spilled-tuples")
+		})
+	}
+}
+
+// --- Parallelism sweep ------------------------------------------------------
+
+// BenchmarkBuildParallel builds the same dataset with the Parallelism knob
+// at 1, 2, 4 and NumCPU workers. The produced tree is identical at every
+// setting (the sub-benchmarks verify it against the sequential build), so
+// the only difference is wall-clock: on a multi-core machine the bootstrap
+// phase, the sharded cleanup scan and the parallel leaf completion overlap.
+func BenchmarkBuildParallel(b *testing.B) {
+	unit := envInt("BOAT_BENCH_UNIT", 10_000)
+	src := gen.MustSource(gen.Config{Function: 6, Noise: 0.05}, 10*unit, 3)
+	cfg := func(p int) core.Config {
+		return core.Config{
+			Method: split.NewGini(), MaxDepth: 6, MinSplit: 50,
+			SampleSize: int(unit), Seed: 3, Parallelism: p,
+		}
+	}
+	seq, err := core.Build(src, cfg(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := seq.Tree()
+	seq.Close()
+
+	workers := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workers = append(workers, n)
+	}
+	for _, p := range workers {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bt, err := core.Build(src, cfg(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !bt.Tree().Equal(ref) {
+					b.Fatal("parallel build produced a different tree")
+				}
+				bt.Close()
+			}
+			b.ReportMetric(float64(p), "workers")
 		})
 	}
 }

@@ -75,6 +75,7 @@ func main() {
 		dir        = flag.String("dir", "", "scratch directory (default: system temp)")
 		seed       = flag.Int64("seed", 1, "experiment seed")
 		method     = flag.String("method", "gini", "split selection: gini | entropy | quest")
+		para       = flag.Int("parallelism", 0, "worker goroutines for BOAT's parallel phases (0 = GOMAXPROCS, 1 = sequential; trees are identical at every setting)")
 		verbose    = flag.Bool("v", true, "log progress")
 	)
 	flag.Parse()
@@ -93,7 +94,7 @@ func main() {
 	}
 	cfg := experiments.Config{
 		Unit: *unit, MaxUnits: *maxUnits, UseFiles: *files,
-		Dir: *dir, Seed: *seed, Method: m,
+		Dir: *dir, Seed: *seed, Method: m, Parallelism: *para,
 	}
 	if *verbose {
 		cfg.Log = os.Stderr

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/inmem"
@@ -34,8 +35,15 @@ type Config struct {
 	// TreeConfig are the growth rules for the bootstrap trees; callers
 	// scale any family-size thresholds by the sampling fraction.
 	TreeConfig inmem.Config
-	// Rng drives the resampling.
-	Rng *rand.Rand
+	// Seed drives the resampling. Tree i draws its bootstrap sample from
+	// a private RNG seeded with Seed + i, so the b trees — and therefore
+	// the coarse tree — are bit-identical regardless of Parallelism.
+	Seed int64
+	// Parallelism is the number of worker goroutines growing bootstrap
+	// trees (<= 1 grows them sequentially in-line). Tree construction from
+	// the in-memory sample is embarrassingly parallel: the population is
+	// only read, and each tree owns its RNG and bootstrap sample.
+	Parallelism int
 }
 
 // Node is one node of the coarse tree. Leaves of the coarse tree are
@@ -95,9 +103,32 @@ func BuildCoarse(schema *data.Schema, sample []data.Tuple, cfg Config) (*Node, S
 		sub = len(sample)
 	}
 	roots := make([]*tree.Node, cfg.Trees)
-	for i := range roots {
-		boot := data.SampleWithReplacement(sample, sub, cfg.Rng)
+	grow := func(i int) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+		boot := data.SampleWithReplacement(sample, sub, rng)
 		roots[i] = inmem.Build(schema, boot, cfg.TreeConfig).Root
+	}
+	if w := min(cfg.Parallelism, cfg.Trees); w > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for range w {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					grow(i)
+				}
+			}()
+		}
+		for i := range roots {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := range roots {
+			grow(i)
+		}
 	}
 	root := intersect(schema, roots, cfg.WidenFraction, &st)
 	return root, st, nil

@@ -1,7 +1,6 @@
 package bootstrap
 
 import (
-	"math/rand"
 	"testing"
 
 	"github.com/boatml/boat/internal/data"
@@ -15,7 +14,7 @@ func cfg(seed int64) Config {
 		Trees:         10,
 		SubsampleSize: 1000,
 		TreeConfig:    inmem.Config{Method: split.NewGini(), MaxDepth: 4, MinSplit: 20},
-		Rng:           rand.New(rand.NewSource(seed)),
+		Seed:          seed,
 	}
 }
 

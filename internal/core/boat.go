@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"github.com/boatml/boat/internal/bootstrap"
 	"github.com/boatml/boat/internal/data"
@@ -27,14 +28,30 @@ type Tree struct {
 	impurityBased split.ImpurityBased
 	momentBased   split.MomentBased
 
+	// statsMu guards buildStats and upd: with Parallelism > 1, leaf
+	// completion (and the rebuilds it triggers) updates counters from
+	// worker goroutines. BOAT-in-BOAT recursion depth is threaded through
+	// the call chain as an explicit parameter (rdepth), not stored here,
+	// so concurrent rebuilds cannot observe each other's depth.
+	statsMu    sync.Mutex
 	buildStats BuildStats
-
-	// rebuildDepth tracks BOAT-in-BOAT recursion for rebuilds.
-	rebuildDepth int
-	// seedCounter derives distinct bootstrap seeds for rebuilds.
-	seedCounter int64
-	// upd accumulates counters for the pass in progress.
+	// upd accumulates counters for the update pass in progress (guarded
+	// by statsMu while worker goroutines are live).
 	upd *UpdateStats
+
+	// seedCounter derives distinct bootstrap seeds for rebuilds; atomic
+	// because concurrent frontier rebuilds each draw fresh seeds. The
+	// output tree does not depend on the drawn values (BOAT's exactness
+	// guarantee), only run traces do.
+	seedCounter atomic.Int64
+}
+
+// mutateStats applies a counter mutation under the stats lock; upd is nil
+// outside of update passes.
+func (t *Tree) mutateStats(f func(b *BuildStats, upd *UpdateStats)) {
+	t.statsMu.Lock()
+	f(&t.buildStats, t.upd)
+	t.statsMu.Unlock()
 }
 
 // Build constructs the BOAT tree over the training database src.
@@ -72,7 +89,7 @@ func Build(src data.Source, cfg Config) (*Tree, error) {
 		return nil, fmt.Errorf("core: sampling phase: %w", err)
 	}
 	t.buildStats.SampleSize = len(sample)
-	root, err := t.buildFromSample(tracked, sample, n, 0)
+	root, err := t.buildFromSample(tracked, sample, n, 0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -83,39 +100,42 @@ func Build(src data.Source, cfg Config) (*Tree, error) {
 // buildFromSample runs the sampling phase (given the already-drawn
 // sample), the cleanup scan over src, and top-down processing, returning
 // the resulting subtree rooted at the given depth. It is shared by Build
-// and by recursive rebuild invocations.
-func (t *Tree) buildFromSample(src data.Source, sample []data.Tuple, n int64, depth int) (*bnode, error) {
-	t.seedCounter++
+// and by recursive rebuild invocations; rdepth is the BOAT-in-BOAT
+// recursion depth of this invocation.
+func (t *Tree) buildFromSample(src data.Source, sample []data.Tuple, n int64, depth, rdepth int) (*bnode, error) {
 	bcfg := bootstrap.Config{
 		Trees:         t.cfg.BootstrapTrees,
 		SubsampleSize: t.cfg.SubsampleSize,
 		WidenFraction: t.cfg.WidenFraction,
 		TreeConfig:    t.bootstrapGrowConfig(n),
-		Rng:           rand.New(rand.NewSource(t.cfg.Seed + t.seedCounter)),
+		Seed:          t.cfg.Seed + 104729*t.seedCounter.Add(1),
+		Parallelism:   t.cfg.workers(),
 	}
 	coarse, bstats, err := bootstrap.BuildCoarse(t.schema, sample, bcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: bootstrap: %w", err)
 	}
-	t.buildStats.CoarseNodes += bstats.CoarseNodes
-	t.buildStats.Disagreements += bstats.Disagreements
+	t.mutateStats(func(b *BuildStats, _ *UpdateStats) {
+		b.CoarseNodes += bstats.CoarseNodes
+		b.Disagreements += bstats.Disagreements
+	})
 
 	root := t.skeletonFromCoarse(coarse, sample, depth)
 
-	// Cleanup scan (scan 2): stream every tuple down the coarse tree.
-	var seen int64
-	err = data.ForEach(src, func(tp data.Tuple) error {
-		seen++
-		return t.route(root, tp, +1)
-	})
+	// Cleanup scan (scan 2): stream every tuple down the coarse tree,
+	// sharded across workers when Parallelism > 1 (see scan.go).
+	seen, err := t.cleanupScan(src, root)
 	if err != nil {
 		return nil, fmt.Errorf("core: cleanup scan: %w", err)
 	}
-	t.buildStats.TuplesSeen += seen
-	t.buildStats.StuckTuples += countStuck(root)
+	stuck := countStuck(root)
+	t.mutateStats(func(b *BuildStats, _ *UpdateStats) {
+		b.TuplesSeen += seen
+		b.StuckTuples += stuck
+	})
 
 	// Top-down processing: exact splits, verification, completion.
-	if err := t.process(root); err != nil {
+	if err := t.process(root, rdepth); err != nil {
 		return nil, fmt.Errorf("core: processing: %w", err)
 	}
 	return root, nil
@@ -155,7 +175,11 @@ func countStuck(n *bnode) int64 {
 func (t *Tree) Schema() *data.Schema { return t.schema }
 
 // BuildStats returns the statistics of the original Build.
-func (t *Tree) BuildStats() BuildStats { return t.buildStats }
+func (t *Tree) BuildStats() BuildStats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.buildStats
+}
 
 // Tree materializes the current decision tree. The result is a plain
 // value: later Insert/Delete calls do not mutate previously returned

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"github.com/boatml/boat/internal/inmem"
 	"github.com/boatml/boat/internal/iostats"
@@ -78,6 +79,17 @@ type Config struct {
 	// gathered family of a failed or frontier node before falling back to
 	// the main-memory algorithm. 0 selects 3.
 	MaxRebuildRecursion int
+
+	// Parallelism is the number of worker goroutines used by the three
+	// build phases: bootstrap-tree growth, the sharded cleanup scan, and
+	// the completion of independent leaves after top-down processing.
+	// 0 selects runtime.GOMAXPROCS(0); 1 runs every phase sequentially
+	// in-line. The resulting tree is identical at every setting: per-tree
+	// bootstrap RNGs are derived from Seed + treeIndex, shard statistics
+	// are exact mergeable counts combined in deterministic worker order,
+	// and BOAT's verification guarantees the exact reference tree
+	// regardless of scan order.
+	Parallelism int
 }
 
 // withDefaults validates and normalizes the configuration.
@@ -118,7 +130,18 @@ func (c Config) withDefaults(n int64) (Config, error) {
 	if c.MaxRebuildRecursion <= 0 {
 		c.MaxRebuildRecursion = 3
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return c, nil
+}
+
+// workers returns the effective worker count (always >= 1).
+func (c Config) workers() int {
+	if c.Parallelism < 1 {
+		return 1
+	}
+	return c.Parallelism
 }
 
 // growConfig returns the reference growth rules derived from the config;

@@ -40,8 +40,14 @@ func (t *Tree) update(chunk data.Source, w int64) (UpdateStats, error) {
 		return UpdateStats{}, data.ErrSchemaMismatch
 	}
 	upd := &UpdateStats{}
+	t.statsMu.Lock()
 	t.upd = upd
-	defer func() { t.upd = nil }()
+	t.statsMu.Unlock()
+	defer func() {
+		t.statsMu.Lock()
+		t.upd = nil
+		t.statsMu.Unlock()
+	}()
 
 	tracked := iostats.Tracked(chunk, t.cfg.Stats)
 	err := data.ForEach(tracked, func(tp data.Tuple) error {
@@ -51,16 +57,18 @@ func (t *Tree) update(chunk data.Source, w int64) (UpdateStats, error) {
 	if err != nil {
 		return *upd, fmt.Errorf("core: streaming update chunk: %w", err)
 	}
-	if err := t.process(t.root); err != nil {
+	if err := t.process(t.root, 0); err != nil {
 		return *upd, fmt.Errorf("core: post-update processing: %w", err)
 	}
 	return *upd, nil
 }
 
 func (t *Tree) noteRebuildTuples(n int64) {
-	if t.upd == nil {
-		t.buildStats.RebuildTuples += n
-	} else {
-		t.upd.RebuildTuples += n
-	}
+	t.mutateStats(func(b *BuildStats, upd *UpdateStats) {
+		if upd == nil {
+			b.RebuildTuples += n
+		} else {
+			upd.RebuildTuples += n
+		}
+	})
 }

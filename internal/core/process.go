@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/discretize"
@@ -18,20 +19,40 @@ import (
 // global optimum, pushes stuck tuples down, migrates previously pushed
 // tuples if the split point moved within its confidence interval, and
 // recurses; verification failures discard and rebuild the subtree.
-func (t *Tree) process(n *bnode) error {
+//
+// The internal-node pass is sequential (a node's stuck tuples must be
+// pushed before its children are examined), but it only defers leaf
+// completion: leaves are collected in left-to-right order and finished
+// afterwards by completeLeaves — concurrently when Parallelism > 1, since
+// each leaf's in-memory fit or frontier rebuild touches only that leaf's
+// family. rdepth is the BOAT-in-BOAT recursion depth of this pass.
+func (t *Tree) process(n *bnode, rdepth int) error {
+	var leaves []*bnode
+	if err := t.processInternal(n, rdepth, &leaves); err != nil {
+		return err
+	}
+	return t.completeLeaves(leaves, rdepth)
+}
+
+func (t *Tree) processInternal(n *bnode, rdepth int, leaves *[]*bnode) error {
 	if n.isLeaf() {
-		return t.processLeaf(n)
+		*leaves = append(*leaves, n)
+		return nil
 	}
 	grow := t.cfg.growConfig(0)
 	if grow.StopBeforeSplit(n.total(), n.depth, n.classCounts) {
 		// The reference algorithm makes this node a leaf (it became pure
 		// or too small, e.g. after deletions).
-		return t.demoteToLeaf(n)
+		if err := t.demoteToLeaf(n); err != nil {
+			return err
+		}
+		*leaves = append(*leaves, n)
+		return nil
 	}
 	chosen, ok := t.verify(n)
 	if !ok {
 		t.noteFailure()
-		return t.rebuildFromSubtree(n)
+		return t.rebuildFromSubtree(n, rdepth)
 	}
 	if n.coarse.kind == data.Numeric {
 		if n.pushed.Len() > 0 && n.routedThr != chosen.Threshold {
@@ -60,10 +81,58 @@ func (t *Tree) process(n *bnode) error {
 		n.routedThr = chosen.Threshold
 	}
 	n.crit = chosen
-	if err := t.process(n.left); err != nil {
+	if err := t.processInternal(n.left, rdepth, leaves); err != nil {
 		return err
 	}
-	return t.process(n.right)
+	return t.processInternal(n.right, rdepth, leaves)
+}
+
+// completeLeaves finishes the collected leaves. Each dirty leaf's work —
+// an in-memory (re)fit or the promotion of an oversized frontier family
+// to a BOAT subtree — depends only on that leaf's family, so with
+// Parallelism > 1 the leaves are completed by an errgroup-style worker
+// pool. Shared state reached from processLeaf (the memory budget, the
+// I/O stats, the build/update counters, the rebuild seed counter) is
+// thread-safe; the resulting tree is identical either way.
+func (t *Tree) completeLeaves(leaves []*bnode, rdepth int) error {
+	dirty := leaves[:0:0]
+	for _, n := range leaves {
+		if n.dirty {
+			dirty = append(dirty, n)
+		}
+	}
+	w := min(t.cfg.workers(), len(dirty))
+	if w <= 1 {
+		for _, n := range dirty {
+			if err := t.processLeaf(n, rdepth); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstErr error
+	)
+	next := make(chan *bnode)
+	for range w {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range next {
+				if err := t.processLeaf(n, rdepth); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for _, n := range dirty {
+		next <- n
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
 }
 
 // migrate re-routes previously pushed stuck tuples whose side changed when
@@ -95,9 +164,11 @@ func (t *Tree) migrate(n *bnode, old, new float64) error {
 	if err != nil {
 		return fmt.Errorf("core: migrating stuck tuples: %w", err)
 	}
-	if t.upd != nil {
-		t.upd.MigratedTuples += moved
-	}
+	t.mutateStats(func(_ *BuildStats, upd *UpdateStats) {
+		if upd != nil {
+			upd.MigratedTuples += moved
+		}
+	})
 	return nil
 }
 
@@ -112,6 +183,10 @@ func (t *Tree) verify(n *bnode) (split.Split, bool) {
 	return t.verifyImpurity(n)
 }
 
+func (t *Tree) noteMomentFailure() {
+	t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailMoment++ })
+}
+
 // verifyMoments: moment-based methods recompute their criterion exactly
 // from the streamed sufficient statistics; the only failure modes are a
 // different splitting attribute, a different splitting subset, or a split
@@ -121,18 +196,18 @@ func (t *Tree) verifyMoments(n *bnode) (split.Split, bool) {
 	chosen := t.momentBased.BestSplitFromMoments(n.moments)
 	c := n.coarse
 	if !chosen.Found || chosen.Attr != c.attr || chosen.Kind != c.kind {
-		t.buildStats.FailMoment++
+		t.noteMomentFailure()
 		return split.Split{}, false
 	}
 	if c.kind == data.Categorical {
 		if chosen.Subset != c.subset {
-			t.buildStats.FailMoment++
+			t.noteMomentFailure()
 			return split.Split{}, false
 		}
 		return chosen, true
 	}
 	if chosen.Threshold < c.lo || chosen.Threshold > c.hi {
-		t.buildStats.FailMoment++
+		t.noteMomentFailure()
 		return split.Split{}, false
 	}
 	return chosen, true
@@ -177,24 +252,24 @@ func (t *Tree) verifyImpurity(n *bnode) (split.Split, bool) {
 		bestIv := split.BestNumericSplitInInterval(crit, c.attr, n.lowCounts,
 			n.eqLow > 0, c.lo, avc, n.classCounts)
 		if !bestIv.Found {
-			t.buildStats.FailNoCandidate++
+			t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailNoCandidate++ })
 			return split.Split{}, false
 		}
 		if bestCat.Better(bestIv) {
 			// A categorical attribute beats the coarse attribute: the
 			// coarse splitting attribute is wrong.
-			t.buildStats.FailBetterCat++
+			t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailBetterCat++ })
 			return split.Split{}, false
 		}
 		chosen = bestIv
 	} else {
 		exact := split.BestCategoricalSplit(crit, c.attr, n.catCounts[c.attr], n.classCounts)
 		if !exact.Found || exact.Subset != c.subset {
-			t.buildStats.FailBetterCat++
+			t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailBetterCat++ })
 			return split.Split{}, false
 		}
 		if bestCat.Better(exact) {
-			t.buildStats.FailBetterCat++
+			t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailBetterCat++ })
 			return split.Split{}, false
 		}
 		chosen = exact
@@ -237,7 +312,7 @@ func (t *Tree) verifyImpurity(n *bnode) (split.Split, bool) {
 				tieValue = loEdge
 			}
 			if lb < iPrime {
-				t.buildStats.FailBound++
+				t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailBound++ })
 				return split.Split{}, false
 			}
 			if lb == iPrime {
@@ -246,7 +321,7 @@ func (t *Tree) verifyImpurity(n *bnode) (split.Split, bool) {
 				// interior cells).
 				if i < chosen.Attr ||
 					(i == chosen.Attr && chosen.Kind == data.Numeric && tieValue < chosen.Threshold) {
-					t.buildStats.FailTie++
+					t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailTie++ })
 					return split.Split{}, false
 				}
 			}
@@ -261,12 +336,25 @@ func isInteriorEmpty(h *discretize.Histogram, cell int) bool {
 	return h.CellTotal(cell) == 0
 }
 
+// stuckAVCScratch pools the value→class-counts scratch maps used by
+// stuckAVC: clearing a map keeps its buckets, so repeated verifications
+// (and concurrent ones — sync.Pool is goroutine-safe) avoid re-growing a
+// fresh map per node. Only the map is pooled; the count rows escape into
+// the returned AVC-set.
+var stuckAVCScratch = sync.Pool{
+	New: func() any { return make(map[float64][]int64, 64) },
+}
+
 // stuckAVC aggregates the stuck set S_n (pending plus pushed tuples, net
 // of removals) into the AVC-set of the coarse attribute's in-interval
 // values.
 func (t *Tree) stuckAVC(n *bnode) (*split.NumericAVC, error) {
 	attr := n.coarse.attr
-	m := make(map[float64][]int64)
+	m := stuckAVCScratch.Get().(map[float64][]int64)
+	defer func() {
+		clear(m)
+		stuckAVCScratch.Put(m)
+	}()
 	collect := func(tp data.Tuple) error {
 		v := tp.Values[attr]
 		row := m[v]
@@ -300,8 +388,9 @@ func (t *Tree) stuckAVC(n *bnode) (*split.NumericAVC, error) {
 // processLeaf finishes a leaf node: families above the main-memory switch
 // threshold are promoted to BOAT subtrees; in-memory families are either
 // left as leaves (StopAtThreshold, the paper's performance-experiment
-// methodology) or completed with the main-memory algorithm.
-func (t *Tree) processLeaf(n *bnode) error {
+// methodology) or completed with the main-memory algorithm. May run
+// concurrently for distinct leaves (see completeLeaves).
+func (t *Tree) processLeaf(n *bnode, rdepth int) error {
 	if !n.dirty {
 		return nil
 	}
@@ -311,12 +400,14 @@ func (t *Tree) processLeaf(n *bnode) error {
 		fam := n.family
 		n.family = nil
 		attempt := total
-		if t.upd == nil {
-			t.buildStats.FrontierRebuilds++
-		} else {
-			t.upd.RebuiltSubtrees++
-		}
-		if err := t.finishNodeFromFamily(n, fam); err != nil {
+		t.mutateStats(func(b *BuildStats, upd *UpdateStats) {
+			if upd == nil {
+				b.FrontierRebuilds++
+			} else {
+				upd.RebuiltSubtrees++
+			}
+		})
+		if err := t.finishNodeFromFamily(n, fam, rdepth); err != nil {
 			return err
 		}
 		if n.isLeaf() {
@@ -341,11 +432,13 @@ func (t *Tree) processLeaf(n *bnode) error {
 	}
 	sub := inmem.Build(t.schema, tuples, t.cfg.growConfig(n.depth))
 	n.subtree = sub.Root
-	if t.upd == nil {
-		t.buildStats.InMemoryLeaves++
-	} else {
-		t.upd.RefittedLeaves++
-	}
+	t.mutateStats(func(b *BuildStats, upd *UpdateStats) {
+		if upd == nil {
+			b.InMemoryLeaves++
+		} else {
+			upd.RefittedLeaves++
+		}
+	})
 	if n.family.PendingRemovals() > 0 && n.family.PendingRemovals()*2 > n.family.Len() {
 		return n.family.Compact()
 	}
@@ -353,9 +446,11 @@ func (t *Tree) processLeaf(n *bnode) error {
 }
 
 func (t *Tree) noteFailure() {
-	if t.upd == nil {
-		t.buildStats.FailedNodes++
-	} else {
-		t.upd.RebuiltSubtrees++
-	}
+	t.mutateStats(func(b *BuildStats, upd *UpdateStats) {
+		if upd == nil {
+			b.FailedNodes++
+		} else {
+			upd.RebuiltSubtrees++
+		}
+	})
 }

@@ -15,7 +15,8 @@ import (
 // the subtree — the not-yet-pushed stuck sets and the stored leaf
 // families — which is the "additional scan over subsets of the data" the
 // paper refers to; no scan of the original training database is needed.
-func (t *Tree) rebuildFromSubtree(n *bnode) error {
+// rdepth is the BOAT-in-BOAT recursion depth of the enclosing pass.
+func (t *Tree) rebuildFromSubtree(n *bnode, rdepth int) error {
 	fam := data.NewTupleBag(t.schema, t.cfg.TempDir, t.budget, t.cfg.Stats)
 	if err := gatherFamily(n, fam); err != nil {
 		fam.Close()
@@ -26,12 +27,13 @@ func (t *Tree) rebuildFromSubtree(n *bnode) error {
 	copy(counts, n.classCounts)
 	releaseNodeState(n)
 	n.classCounts = counts
-	return t.finishNodeFromFamily(n, fam)
+	return t.finishNodeFromFamily(n, fam, rdepth)
 }
 
 // demoteToLeaf converts an internal node into a leaf because the reference
 // stopping rules say so (the family became pure or too small, typically
-// after deletions).
+// after deletions). The caller (processInternal) queues the demoted leaf
+// for completion alongside the other leaves of the pass.
 func (t *Tree) demoteToLeaf(n *bnode) error {
 	fam := data.NewTupleBag(t.schema, t.cfg.TempDir, t.budget, t.cfg.Stats)
 	if err := gatherFamily(n, fam); err != nil {
@@ -45,7 +47,7 @@ func (t *Tree) demoteToLeaf(n *bnode) error {
 	n.leaf = true
 	n.family = fam
 	n.dirty = true
-	return t.processLeaf(n)
+	return nil
 }
 
 // gatherFamily streams F_n into fam: the stored families of the leaves of
@@ -103,27 +105,24 @@ func releaseNodeState(n *bnode) {
 // finishNodeFromFamily installs the correct subtree at n given its
 // complete family. Families above the main-memory threshold are rebuilt by
 // a recursive BOAT invocation over the buffered family (bounded by
-// MaxRebuildRecursion); everything else becomes a stored-family leaf,
-// completed in memory by processLeaf.
-func (t *Tree) finishNodeFromFamily(n *bnode, fam *data.TupleBag) error {
+// MaxRebuildRecursion, threaded through as rdepth so that concurrent
+// rebuilds of distinct nodes track their own depth); everything else
+// becomes a stored-family leaf, completed in memory.
+func (t *Tree) finishNodeFromFamily(n *bnode, fam *data.TupleBag, rdepth int) error {
 	total := fam.Len()
 	if t.cfg.StopThreshold > 0 && total > t.cfg.StopThreshold &&
-		t.rebuildDepth < t.cfg.MaxRebuildRecursion {
-		t.rebuildDepth++
-		t.seedCounter++
-		rng := rand.New(rand.NewSource(t.cfg.Seed + 7919*t.seedCounter))
+		rdepth < t.cfg.MaxRebuildRecursion {
+		rng := rand.New(rand.NewSource(t.cfg.Seed + 7919*t.seedCounter.Add(1)))
 		sample, err := data.ReservoirSample(fam.Source(), t.cfg.SampleSize, rng)
 		if err == nil {
 			var sub *bnode
-			sub, err = t.buildFromSample(fam.Source(), sample, total, n.depth)
+			sub, err = t.buildFromSample(fam.Source(), sample, total, n.depth, rdepth+1)
 			if err == nil {
-				t.rebuildDepth--
 				fam.Close()
 				*n = *sub
 				return nil
 			}
 		}
-		t.rebuildDepth--
 		return err
 	}
 	// Main-memory path: the node keeps its family as a stored-family
@@ -152,10 +151,12 @@ func (t *Tree) finishNodeFromFamily(n *bnode, fam *data.TupleBag) error {
 		return err
 	}
 	n.subtree = inmem.Build(t.schema, tuples, t.cfg.growConfig(n.depth)).Root
-	if t.upd == nil {
-		t.buildStats.InMemoryLeaves++
-	} else {
-		t.upd.RefittedLeaves++
-	}
+	t.mutateStats(func(b *BuildStats, upd *UpdateStats) {
+		if upd == nil {
+			b.InMemoryLeaves++
+		} else {
+			upd.RefittedLeaves++
+		}
+	})
 	return nil
 }

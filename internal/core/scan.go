@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/discretize"
+	"github.com/boatml/boat/internal/split"
+)
+
+// The cleanup scan (scan 2 of the paper) is a pure aggregation: every
+// tuple updates class counts, AVC counts, histogram buckets and moment
+// statistics along its root-to-stick path, and lands in exactly one
+// buffer (a stuck set S_n or a leaf family). All of those statistics are
+// exact integer counts, so the scan is shard-parallel: the input stream
+// is partitioned into chunks routed by worker goroutines into private
+// per-worker shadow trees, which are then merged into the bnode fields in
+// worker order before top-down processing. Merging is commutative for the
+// counts and deterministic for the buffers (chunks are dealt round-robin,
+// shards merge in worker order), and BOAT's verification pass guarantees
+// the final tree is the exact reference tree regardless of the order
+// tuples entered the buffers.
+
+// scanChunkTuples is the number of tuples per dispatched chunk. Chunks
+// amortize channel traffic and own their tuple storage (one flat slab per
+// chunk), so scanner batches can be recycled immediately.
+const scanChunkTuples = 4096
+
+// cleanupScan streams src down the subtree rooted at root, returning the
+// number of tuples seen. Parallelism <= 1 follows the exact sequential
+// code path; otherwise the scan is sharded across workers.
+func (t *Tree) cleanupScan(src data.Source, root *bnode) (int64, error) {
+	w := t.cfg.workers()
+	if w > 1 {
+		if n, ok := src.Count(); ok && n >= 2*scanChunkTuples {
+			return t.shardedScan(src, root, w)
+		} else if !ok {
+			return t.shardedScan(src, root, w)
+		}
+		// Tiny known-size inputs: sharding overhead cannot pay off.
+	}
+	var seen int64
+	err := data.ForEach(src, func(tp data.Tuple) error {
+		seen++
+		return t.route(root, tp, +1)
+	})
+	return seen, err
+}
+
+// shardNode is one worker's private shadow of a bnode: the same
+// statistics fields, accumulated only from the tuples of that worker's
+// chunks. ref supplies the (read-only during the scan) coarse criterion
+// and tree structure.
+type shardNode struct {
+	ref         *bnode
+	classCounts []int64
+
+	// Internal-node shadow statistics.
+	catCounts  []*split.CatAVC
+	hist       []*discretize.Histogram
+	moments    *split.Moments
+	lowCounts  []int64
+	highCounts []int64
+	eqLow      int64
+	pending    *data.TupleBag
+	left       *shardNode
+	right      *shardNode
+
+	// Leaf shadow family.
+	family *data.TupleBag
+}
+
+// newShardTree mirrors the subtree rooted at n. budget is the worker's
+// private MemBudget slice, so concurrent shard buffers spill
+// independently without exceeding the global budget.
+func (t *Tree) newShardTree(n *bnode, budget *data.MemBudget) *shardNode {
+	if n == nil {
+		return nil
+	}
+	s := &shardNode{ref: n, classCounts: make([]int64, t.schema.ClassCount)}
+	if n.isLeaf() {
+		s.family = data.NewTupleBag(t.schema, t.cfg.TempDir, budget, t.cfg.Stats)
+		return s
+	}
+	s.catCounts = make([]*split.CatAVC, len(t.schema.Attributes))
+	s.hist = make([]*discretize.Histogram, len(t.schema.Attributes))
+	for i := range t.schema.Attributes {
+		if n.catCounts[i] != nil {
+			s.catCounts[i] = split.NewCatAVC(t.schema.Attributes[i].Cardinality, t.schema.ClassCount)
+		}
+		if n.hist[i] != nil {
+			s.hist[i] = discretize.NewHistogram(n.hist[i].Boundaries, t.schema.ClassCount)
+		}
+	}
+	if n.moments != nil {
+		s.moments = split.NewMoments(t.schema)
+	}
+	if n.coarse.kind == data.Numeric {
+		s.lowCounts = make([]int64, t.schema.ClassCount)
+		s.highCounts = make([]int64, t.schema.ClassCount)
+		s.pending = data.NewTupleBag(t.schema, t.cfg.TempDir, budget, t.cfg.Stats)
+	}
+	s.left = t.newShardTree(n.left, budget)
+	s.right = t.newShardTree(n.right, budget)
+	return s
+}
+
+// routeShard is route (node.go) against a worker's shadow tree, insert
+// path only: the cleanup scan never deletes.
+func (s *shardNode) route(tp data.Tuple) error {
+	for {
+		s.classCounts[tp.Class]++
+		n := s.ref
+		if n.isLeaf() {
+			return s.family.Add(tp)
+		}
+		for i, cc := range s.catCounts {
+			if cc != nil {
+				cc.Add(int(tp.Values[i]), tp.Class, 1)
+			}
+		}
+		for i, h := range s.hist {
+			if h != nil {
+				h.Add(tp.Values[i], tp.Class, 1)
+			}
+		}
+		if s.moments != nil {
+			s.moments.Add(tp, 1)
+		}
+		c := n.coarse
+		if c.kind == data.Categorical {
+			code := uint(tp.Values[c.attr])
+			if code < 64 && c.subset&(1<<code) != 0 {
+				s = s.left
+			} else {
+				s = s.right
+			}
+			continue
+		}
+		v := tp.Values[c.attr]
+		switch {
+		case v <= c.lo:
+			s.lowCounts[tp.Class]++
+			if v == c.lo {
+				s.eqLow++
+			}
+			s = s.left
+		case v > c.hi:
+			s.highCounts[tp.Class]++
+			s = s.right
+		default:
+			return s.pending.Add(tp)
+		}
+	}
+}
+
+// merge folds the shard's statistics and buffers into the real tree and
+// releases the shard's resources. Called once per shard in worker order,
+// sequentially, after all workers have finished.
+func (s *shardNode) merge() error {
+	if s == nil {
+		return nil
+	}
+	n := s.ref
+	for i, v := range s.classCounts {
+		n.classCounts[i] += v
+	}
+	if n.isLeaf() {
+		if s.family.Len() > 0 {
+			n.dirty = true
+			if err := s.family.ForEach(n.family.Add); err != nil {
+				return err
+			}
+		}
+		return s.family.Close()
+	}
+	for i, cc := range n.catCounts {
+		if cc != nil {
+			cc.Merge(s.catCounts[i])
+		}
+	}
+	for i, h := range n.hist {
+		if h != nil {
+			h.Merge(s.hist[i])
+		}
+	}
+	if n.moments != nil {
+		n.moments.Merge(s.moments)
+	}
+	if n.coarse.kind == data.Numeric {
+		for i, v := range s.lowCounts {
+			n.lowCounts[i] += v
+		}
+		for i, v := range s.highCounts {
+			n.highCounts[i] += v
+		}
+		n.eqLow += s.eqLow
+		if s.pending.Len() > 0 {
+			if err := s.pending.ForEach(n.pending.Add); err != nil {
+				return err
+			}
+		}
+		if err := s.pending.Close(); err != nil {
+			return err
+		}
+	}
+	if err := s.left.merge(); err != nil {
+		return err
+	}
+	return s.right.merge()
+}
+
+// closeShard releases a shard's buffers without merging (error paths).
+func (s *shardNode) close() {
+	if s == nil {
+		return
+	}
+	if s.family != nil {
+		s.family.Close()
+	}
+	if s.pending != nil {
+		s.pending.Close()
+	}
+	s.left.close()
+	s.right.close()
+}
+
+// tupleChunk is an owned, densely packed run of tuples: Values slices of
+// all tuples share one flat slab, so a chunk costs three allocations
+// regardless of size.
+type tupleChunk struct {
+	tuples []data.Tuple
+	slab   []float64
+}
+
+func newTupleChunk(width int) *tupleChunk {
+	return &tupleChunk{
+		tuples: make([]data.Tuple, 0, scanChunkTuples),
+		slab:   make([]float64, 0, scanChunkTuples*width),
+	}
+}
+
+func (c *tupleChunk) add(tp data.Tuple) {
+	start := len(c.slab)
+	c.slab = append(c.slab, tp.Values...)
+	c.tuples = append(c.tuples, data.Tuple{Values: c.slab[start:len(c.slab):len(c.slab)], Class: tp.Class})
+}
+
+func (c *tupleChunk) full() bool { return len(c.tuples) >= scanChunkTuples }
+
+// shardedScan partitions the stream into chunks dealt round-robin to w
+// workers, each routing into a private shadow tree, then merges the
+// shadow trees in worker order. The round-robin deal plus ordered merge
+// makes the merged buffers deterministic for a given worker count.
+func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
+	budgets := t.budget.Split(w)
+	shards := make([]*shardNode, w)
+	for i := range shards {
+		shards[i] = t.newShardTree(root, budgets[i])
+	}
+
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		workErr error
+		failed  = make(chan struct{})
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			workErr = err
+			close(failed)
+		})
+	}
+	chans := make([]chan *tupleChunk, w)
+	for i := range chans {
+		chans[i] = make(chan *tupleChunk, 2)
+		wg.Add(1)
+		go func(shard *shardNode, in <-chan *tupleChunk) {
+			defer wg.Done()
+			ok := true
+			for chunk := range in {
+				if !ok {
+					continue // drain after failure so the dealer never blocks
+				}
+				for _, tp := range chunk.tuples {
+					if err := shard.route(tp); err != nil {
+						fail(err)
+						ok = false
+						break
+					}
+				}
+			}
+		}(shards[i], chans[i])
+	}
+
+	// Deal chunks round-robin. Scanner batches are only valid until the
+	// next Next call, so tuples are copied into chunk-owned slabs.
+	width := len(t.schema.Attributes)
+	var (
+		seen  int64
+		next  int
+		chunk = newTupleChunk(width)
+	)
+	dispatch := func(c *tupleChunk) bool {
+		select {
+		case chans[next%w] <- c:
+			next++
+			return true
+		case <-failed:
+			return false
+		}
+	}
+	scanErr := data.ForEach(src, func(tp data.Tuple) error {
+		seen++
+		chunk.add(tp)
+		if chunk.full() {
+			if !dispatch(chunk) {
+				return workErr
+			}
+			chunk = newTupleChunk(width)
+		}
+		return nil
+	})
+	if scanErr == nil && len(chunk.tuples) > 0 && !dispatch(chunk) {
+		scanErr = workErr
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if scanErr == nil && workErr != nil {
+		scanErr = workErr
+	}
+	if scanErr != nil {
+		for _, s := range shards {
+			s.close()
+		}
+		return seen, scanErr
+	}
+
+	for i, s := range shards {
+		if err := s.merge(); err != nil {
+			for _, rest := range shards[i+1:] {
+				rest.close()
+			}
+			return seen, fmt.Errorf("core: merging scan shard %d: %w", i, err)
+		}
+	}
+	return seen, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // SpillRecorder receives accounting callbacks when a buffer overflows its
@@ -18,14 +19,18 @@ type SpillRecorder interface {
 // MemBudget is a shared in-memory tuple budget. Spill buffers attached to
 // the same budget collectively hold at most Limit tuples in memory; beyond
 // that they overflow to temporary files. A nil *MemBudget means unlimited
-// memory. The zero Limit also means unlimited.
+// memory. The zero Limit also means unlimited. All methods are safe for
+// concurrent use, so buffers owned by different worker goroutines may
+// share one budget.
 //
 // This models the paper's low run-time memory requirement: the sets S_n of
 // tuples inside the confidence intervals are kept in memory when possible
 // and written to temporary files otherwise (Section 3.3).
 type MemBudget struct {
 	Limit int64
-	used  int64
+
+	mu   sync.Mutex
+	used int64
 }
 
 // NewMemBudget returns a budget of limit tuples (0 = unlimited).
@@ -35,6 +40,8 @@ func (b *MemBudget) tryAcquire(n int64) bool {
 	if b == nil || b.Limit <= 0 {
 		return true
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.used+n > b.Limit {
 		return false
 	}
@@ -46,10 +53,12 @@ func (b *MemBudget) release(n int64) {
 	if b == nil || b.Limit <= 0 {
 		return
 	}
+	b.mu.Lock()
 	b.used -= n
 	if b.used < 0 {
 		b.used = 0
 	}
+	b.mu.Unlock()
 }
 
 // Used returns the tuples currently held in memory against the budget.
@@ -57,7 +66,28 @@ func (b *MemBudget) Used() int64 {
 	if b == nil {
 		return 0
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.used
+}
+
+// Split carves the budget into n independent per-worker slices whose
+// limits sum to at most the parent limit, so n workers filling private
+// buffers concurrently can never exceed the global budget between them.
+// An unlimited (or nil) budget yields unlimited slices.
+func (b *MemBudget) Split(n int) []*MemBudget {
+	out := make([]*MemBudget, n)
+	if b == nil || b.Limit <= 0 {
+		return out // nil slices: unlimited
+	}
+	per := b.Limit / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range out {
+		out[i] = NewMemBudget(per)
+	}
+	return out
 }
 
 // SpillBuffer accumulates tuples in memory up to a shared budget and spills

@@ -20,7 +20,8 @@ func bootstrapConfig(c Config, n int64) bootstrap.Config {
 		Trees:         c.Bootstraps,
 		SubsampleSize: c.subsampleSize(),
 		TreeConfig:    inmem.Config{Method: c.Method, MaxDepth: 4, MinSplit: 100},
-		Rng:           newRand(c.Seed + 3),
+		Seed:          c.Seed + 3,
+		Parallelism:   c.Parallelism,
 	}
 }
 

@@ -60,6 +60,10 @@ type Config struct {
 	Seed int64
 	// Method is the split selection method (default gini).
 	Method split.Method
+	// Parallelism is the worker count for BOAT's parallel phases
+	// (0 = runtime.GOMAXPROCS(0), 1 = sequential). The produced trees are
+	// identical at every setting; only wall-clock times change.
+	Parallelism int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -219,6 +223,7 @@ func (c Config) boatConfig(st *iostats.Stats) core.Config {
 		TempDir:         c.Dir,
 		Seed:            c.Seed + 1,
 		Stats:           st,
+		Parallelism:     c.Parallelism,
 	}
 }
 

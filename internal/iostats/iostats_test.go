@@ -1,6 +1,8 @@
 package iostats
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"github.com/boatml/boat/internal/data"
@@ -106,5 +108,74 @@ func TestNilStatsMethodsSafe(t *testing.T) {
 	s.RecordSpill(1, 1)
 	if s.Snapshot() != (Snapshot{}) {
 		t.Error("nil stats snapshot should be zero")
+	}
+}
+
+// TestConcurrentRecording pins down the concurrency contract the parallel
+// build phases rely on: Stats methods may be called from many goroutines
+// (per-worker spill buffers, concurrent leaf rebuilds scanning tracked
+// sources) without losing counts. Run under -race this also proves the
+// counters are data-race free.
+func TestConcurrentRecording(t *testing.T) {
+	var st Stats
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				st.RecordScan()
+				st.RecordRead(2, 80)
+				st.RecordSpill(1, 40)
+				_ = st.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	want := Snapshot{
+		Scans:       workers * perWorker,
+		TuplesRead:  2 * workers * perWorker,
+		BytesRead:   80 * workers * perWorker,
+		SpillTuples: workers * perWorker,
+		SpillBytes:  40 * workers * perWorker,
+	}
+	if got := st.Snapshot(); got != want {
+		t.Fatalf("lost updates: got %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentTrackedScans scans one tracked source from several
+// goroutines at once, as the sharded cleanup scan's nested rebuilds do.
+func TestConcurrentTrackedScans(t *testing.T) {
+	var st Stats
+	src := Tracked(data.NewMemSource(testSchema(), testTuples(500)), &st)
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n int64
+			if err := data.ForEach(src, func(data.Tuple) error { n++; return nil }); err != nil {
+				errs <- err
+				return
+			}
+			if n != 500 {
+				errs <- fmt.Errorf("scan saw %d tuples, want 500", n)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := st.Scans(); got != workers {
+		t.Fatalf("recorded %d scans, want %d", got, workers)
+	}
+	if got := st.TuplesRead(); got != workers*500 {
+		t.Fatalf("recorded %d tuples, want %d", got, workers*500)
 	}
 }

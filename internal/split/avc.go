@@ -43,6 +43,17 @@ func NewCatAVC(cardinality, classCount int) *CatAVC {
 // deletions in the dynamic environment.
 func (a *CatAVC) Add(code, class int, w int64) { a.Counts[code][class] += w }
 
+// Merge adds o's counts into a. The two AVC-sets must cover the same
+// domain; used to combine per-worker shards of a partitioned scan.
+func (a *CatAVC) Merge(o *CatAVC) {
+	for c, row := range o.Counts {
+		dst := a.Counts[c]
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}
+
 // NodeStats is the AVC-group of a node: the AVC-sets of every predictor
 // attribute plus the class totals of the family. It is the complete input
 // to impurity-based split selection.

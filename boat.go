@@ -163,6 +163,35 @@ type (
 	UpdateStats = core.UpdateStats
 )
 
+// Storage-resilience types (see DESIGN.md §10). Options.Budget shares one
+// spill budget across models; Options.FS swaps the filesystem the spill
+// and persistence paths write through; Options.SpillRetry bounds the
+// retry-with-backoff applied to transient storage errors.
+type (
+	// MemBudget is a sharable bound on in-memory buffered tuples;
+	// overflow spills to temp files.
+	MemBudget = data.MemBudget
+	// FS is the filesystem abstraction used for spill and model files.
+	FS = data.FS
+	// RetryPolicy bounds retries of transient storage errors.
+	RetryPolicy = data.RetryPolicy
+	// SpillError wraps a storage failure on the spill/persistence path;
+	// test with IsSpillError.
+	SpillError = data.SpillError
+)
+
+// NewMemBudget creates a budget admitting limit buffered tuples (0 =
+// unlimited, negative = spill everything).
+func NewMemBudget(limit int64) *MemBudget { return data.NewMemBudget(limit) }
+
+// IsSpillError reports whether err came from the spill/persistence path
+// (as opposed to a bug or a data error).
+func IsSpillError(err error) bool { return data.IsSpillError(err) }
+
+// LiveTempFiles lists the spill/model temp files currently live in this
+// process — useful for asserting zero leaks after Close.
+func LiveTempFiles() []string { return data.LiveTempFiles() }
+
 // Grow builds a BOAT model over the training database in two scans.
 func Grow(src Source, opt Options) (*Model, error) { return core.Build(src, opt) }
 

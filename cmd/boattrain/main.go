@@ -41,6 +41,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "sampling seed")
 		avcBuffer = flag.Int64("avcbuffer", 3_000_000, "RainForest AVC buffer entries")
 		save      = flag.String("save", "", "write the encoded tree to this file")
+		saveModel = flag.String("savemodel", "", "write the full BOAT model (tree + statistics) to this file atomically (boat only)")
 		update    = flag.String("update", "", "after building, insert this chunk file incrementally (boat only)")
 		quiet     = flag.Bool("quiet", false, "do not print the tree itself")
 	)
@@ -101,6 +102,10 @@ func main() {
 			fmt.Printf("incremental insert: %.2fs | tuples=%d rebuilt-subtrees=%d migrated=%d refitted-leaves=%d\n",
 				time.Since(ustart).Seconds(), upd.TuplesSeen, upd.RebuiltSubtrees,
 				upd.MigratedTuples, upd.RefittedLeaves)
+		}
+		if *saveModel != "" {
+			fatal(bt.SaveFile(*saveModel))
+			fmt.Printf("saved model to %s\n", *saveModel)
 		}
 		tr = bt.Tree()
 	case "rf-hybrid", "rf-vertical":

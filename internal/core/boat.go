@@ -54,6 +54,18 @@ func (t *Tree) mutateStats(f func(b *BuildStats, upd *UpdateStats)) {
 	t.statsMu.Unlock()
 }
 
+// spillEnv assembles the spill environment for a buffer charged against
+// budget: the tree's temp dir, recorder, filesystem, and retry policy.
+func (t *Tree) spillEnv(budget *data.MemBudget) data.SpillEnv {
+	return data.SpillEnv{
+		Dir:    t.cfg.TempDir,
+		Budget: budget,
+		Rec:    t.cfg.Stats,
+		FS:     t.cfg.FS,
+		Retry:  t.cfg.SpillRetry,
+	}
+}
+
 // Build constructs the BOAT tree over the training database src.
 //
 // The algorithm makes exactly two sequential scans over src (plus
@@ -69,10 +81,14 @@ func Build(src data.Source, cfg Config) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	budget := cfg.Budget
+	if budget == nil {
+		budget = data.NewMemBudget(cfg.MemBudgetTuples)
+	}
 	t := &Tree{
 		cfg:    cfg,
 		schema: src.Schema(),
-		budget: data.NewMemBudget(cfg.MemBudgetTuples),
+		budget: budget,
 	}
 	t.impurityBased, _ = cfg.Method.(split.ImpurityBased)
 	t.momentBased, _ = cfg.Method.(split.MomentBased)
@@ -123,9 +139,12 @@ func (t *Tree) buildFromSample(src data.Source, sample []data.Tuple, n int64, de
 	root := t.skeletonFromCoarse(coarse, sample, depth)
 
 	// Cleanup scan (scan 2): stream every tuple down the coarse tree,
-	// sharded across workers when Parallelism > 1 (see scan.go).
+	// sharded across workers when Parallelism > 1 (see scan.go). On any
+	// error the skeleton's buffers (and their temp files) are released
+	// before returning, so a failed build never leaks.
 	seen, err := t.cleanupScan(src, root)
 	if err != nil {
+		closeSubtree(root)
 		return nil, fmt.Errorf("core: cleanup scan: %w", err)
 	}
 	stuck := countStuck(root)
@@ -136,6 +155,7 @@ func (t *Tree) buildFromSample(src data.Source, sample []data.Tuple, n int64, de
 
 	// Top-down processing: exact splits, verification, completion.
 	if err := t.process(root, rdepth); err != nil {
+		closeSubtree(root)
 		return nil, fmt.Errorf("core: processing: %w", err)
 	}
 	return root, nil

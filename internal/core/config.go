@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/inmem"
 	"github.com/boatml/boat/internal/iostats"
 	"github.com/boatml/boat/internal/split"
@@ -62,10 +63,26 @@ type Config struct {
 
 	// MemBudgetTuples bounds the tuples the tree's buffers (stuck sets
 	// S_n and stored leaf families) keep in memory; the overflow spills
-	// to temporary files in TempDir. 0 = unlimited.
+	// to temporary files in TempDir. 0 = unlimited. Ignored when Budget
+	// is non-nil.
 	MemBudgetTuples int64
+	// Budget, when non-nil, is used instead of a fresh budget derived
+	// from MemBudgetTuples. It lets callers share one budget across
+	// builds and assert that every build — including failed ones —
+	// releases all memory it acquired (Used() returns to its prior
+	// value).
+	Budget *data.MemBudget
 	// TempDir is the directory for spill files ("" = os.TempDir()).
 	TempDir string
+
+	// FS, when non-nil, replaces the real filesystem for all spill and
+	// model-persistence files. Tests and soak runs inject faults through
+	// it (see internal/faultfs); production builds leave it nil.
+	FS data.FS
+	// SpillRetry bounds the retry-with-backoff applied to transient
+	// spill-path faults. The zero value selects the defaults
+	// (4 attempts, 500µs initial backoff, doubling).
+	SpillRetry data.RetryPolicy
 
 	// Seed drives sampling and bootstrapping. The output tree does not
 	// depend on it (that is the point of BOAT), but run traces do.
@@ -196,6 +213,11 @@ type BuildStats struct {
 	// FrontierRebuilds counts frontier families too large for the
 	// main-memory switch, rebuilt by recursive BOAT invocations.
 	FrontierRebuilds int64
+	// SpillRebuilds counts subtrees rebuilt because a storage fault on
+	// the spill path made the node's buffers untrustworthy; the rebuild
+	// recovers from the still-scannable (poisoned) buffers, preserving
+	// the exactness guarantee.
+	SpillRebuilds int64
 	// RebuildTuples counts tuples re-processed by rebuilds (the paper's
 	// "additional scans over subsets of the data").
 	RebuildTuples int64

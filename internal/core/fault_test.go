@@ -1,0 +1,232 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/faultfs"
+	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/split"
+)
+
+// noSleep keeps retry backoffs instantaneous in tests.
+var noSleep = data.RetryPolicy{Sleep: func(time.Duration) {}}
+
+// requireNoTempsUnder fails when any temp file under dir survives in the
+// process-wide registry or on disk.
+func requireNoTempsUnder(t *testing.T, dir string) {
+	t.Helper()
+	for _, p := range data.LiveTempFiles() {
+		if strings.HasPrefix(p, dir+string(os.PathSeparator)) {
+			t.Fatalf("live temp file remains: %s", p)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "boat-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("temp files left on disk: %v", matches)
+	}
+}
+
+// TestShardedScanFallsBackOnSpillFault: permanent create faults break the
+// sharded cleanup scan on its first spills; the build must degrade to the
+// sequential scan (resetting all partial statistics) and still produce the
+// exact reference tree, leaking nothing.
+func TestShardedScanFallsBackOnSpillFault(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, 12000, 77)
+	g := t.TempDir()
+	stats := &iostats.Stats{}
+	budget := data.NewMemBudget(64) // tiny: the scan must spill immediately
+	fs := faultfs.New(nil, faultfs.Config{Seed: 7, CreateProb: 1, MaxFaults: 2})
+	bt, err := Build(src, Config{
+		Method: split.NewGini(), MaxDepth: 5, MinSplit: 50,
+		SampleSize: 1500, Seed: 11, Parallelism: 4,
+		Budget: budget, TempDir: g, FS: fs, SpillRetry: noSleep, Stats: stats,
+	})
+	if err != nil {
+		t.Fatalf("build did not recover from sharded-scan faults: %v", err)
+	}
+	if stats.ScanFallbacks() != 1 {
+		t.Errorf("scan fallbacks = %d, want 1", stats.ScanFallbacks())
+	}
+	// The degraded build must equal the fault-free build exactly.
+	ref, err := Build(src, Config{
+		Method: split.NewGini(), MaxDepth: 5, MinSplit: 50,
+		SampleSize: 1500, Seed: 11, Parallelism: 4, TempDir: g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, "fallback", bt.Tree(), ref.Tree())
+	if err := bt.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	bt.Close()
+	ref.Close()
+	if budget.Used() != 0 {
+		t.Errorf("budget used = %d after close, want 0", budget.Used())
+	}
+	requireNoTempsUnder(t, g)
+}
+
+// TestBuildUnderMixedFaults is the in-process version of the boatbench
+// fault soak: across many fault seeds, a build with injected storage
+// faults must either produce a tree identical to the fault-free build or
+// fail with a clean error — and in both cases release its whole memory
+// budget and leave zero temp files.
+func TestBuildUnderMixedFaults(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 6, Noise: 0.05}, 9000, 5)
+	base := Config{
+		Method: split.NewGini(), MaxDepth: 5, MinSplit: 50,
+		SampleSize: 1500, Seed: 23, Parallelism: 2,
+	}
+	ref, err := Build(src, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := ref.Tree()
+
+	var clean, failed int
+	for seed := range int64(12) {
+		dir := t.TempDir()
+		// RemoveProb stays 0: a permanent remove fault makes the temp file
+		// undeletable by definition, so "zero files left" cannot hold; that
+		// path is covered by the faultfs registry tests instead.
+		fs := faultfs.New(nil, faultfs.Config{
+			Seed:              seed,
+			CreateProb:        0.08,
+			WriteProb:         0.08,
+			OpenProb:          0.03,
+			TransientFraction: 0.6,
+			MaxFaults:         6,
+		})
+		stats := &iostats.Stats{}
+		budget := data.NewMemBudget(128)
+		cfg := base
+		cfg.Budget = budget
+		cfg.TempDir = dir
+		cfg.FS = fs
+		cfg.SpillRetry = noSleep
+		cfg.Stats = stats
+		bt, err := Build(src, cfg)
+		if err == nil {
+			requireEqual(t, "faulted build", bt.Tree(), want)
+			if cerr := bt.CheckConsistency(); cerr != nil {
+				t.Fatalf("seed %d: %v", seed, cerr)
+			}
+			bt.Close()
+			clean++
+		} else {
+			if !data.IsSpillError(err) {
+				t.Fatalf("seed %d: non-storage error %v", seed, err)
+			}
+			failed++
+		}
+		if budget.Used() != 0 {
+			t.Fatalf("seed %d: budget used = %d after build", seed, budget.Used())
+		}
+		requireNoTempsUnder(t, dir)
+	}
+	t.Logf("mixed-fault builds: %d exact, %d clean errors", clean, failed)
+	if clean == 0 {
+		t.Error("no faulted build recovered; fault mix too aggressive to test recovery")
+	}
+}
+
+// TestSaveFileRenameFaultLeavesNothing: a permanent rename fault must
+// leave neither a model at path nor a stray temp file.
+func TestSaveFileRenameFaultLeavesNothing(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 1}, 2000, 3)
+	fs := faultfs.New(nil, faultfs.Config{Seed: 1, RenameProb: 1, MaxFaults: 1})
+	dir := t.TempDir()
+	bt, err := Build(src, Config{
+		Method: split.NewGini(), MaxDepth: 4, MinSplit: 20,
+		SampleSize: 500, Seed: 9, TempDir: dir, FS: fs, SpillRetry: noSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	path := filepath.Join(dir, "model.boat")
+	if err := bt.SaveFile(path); err == nil {
+		t.Fatal("SaveFile succeeded despite permanent rename fault")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("model path exists after failed save (err=%v)", err)
+	}
+	requireNoTempsUnder(t, dir)
+}
+
+// TestSaveFileTransientRenameRetried: a transient rename fault is
+// retried; the saved model must load back identical.
+func TestSaveFileTransientRenameRetried(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 1}, 2000, 3)
+	fs := faultfs.New(nil, faultfs.Config{Seed: 2, RenameProb: 1, TransientFraction: 1, MaxFaults: 1})
+	dir := t.TempDir()
+	cfg := Config{
+		Method: split.NewGini(), MaxDepth: 4, MinSplit: 20,
+		SampleSize: 500, Seed: 9, TempDir: dir, FS: fs, SpillRetry: noSleep,
+	}
+	bt, err := Build(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	path := filepath.Join(dir, "model.boat")
+	if err := bt.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile with transient rename fault: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := Load(f, src.Schema(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	requireEqual(t, "save/load", loaded.Tree(), bt.Tree())
+	requireNoTempsUnder(t, dir)
+}
+
+// TestLoadFailureReleasesBuffers: a truncated model stream must not leak
+// the bags decoded before the error.
+func TestLoadFailureReleasesBuffers(t *testing.T) {
+	src := gen.MustSource(gen.Config{Function: 1, Noise: 0.1}, 4000, 3)
+	dir := t.TempDir()
+	budget := data.NewMemBudget(32) // force the decoded bags to spill
+	cfg := Config{
+		Method: split.NewGini(), MaxDepth: 5, MinSplit: 20,
+		SampleSize: 800, Seed: 9, TempDir: dir,
+	}
+	bt, err := Build(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	var buf strings.Builder
+	if err := bt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	lcfg := cfg
+	lcfg.Budget = budget
+	for _, cut := range []int{len(raw) / 3, len(raw) / 2, len(raw) - 1} {
+		if _, err := Load(strings.NewReader(raw[:cut]), src.Schema(), lcfg); err == nil {
+			t.Fatalf("loading %d/%d bytes succeeded", cut, len(raw))
+		}
+		if budget.Used() != 0 {
+			t.Fatalf("cut %d: budget used = %d after failed load", cut, budget.Used())
+		}
+		requireNoTempsUnder(t, dir)
+	}
+}

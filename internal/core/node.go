@@ -76,7 +76,7 @@ func (t *Tree) newLeaf(depth int) *bnode {
 		leaf:        true,
 		dirty:       true,
 		classCounts: make([]int64, t.schema.ClassCount),
-		family:      data.NewTupleBag(t.schema, t.cfg.TempDir, t.budget, t.cfg.Stats),
+		family:      data.NewTupleBagEnv(t.schema, t.spillEnv(t.budget)),
 	}
 }
 
@@ -101,8 +101,8 @@ func (t *Tree) newInternal(depth int, c *coarseCrit) *bnode {
 	if c.kind == data.Numeric {
 		n.lowCounts = make([]int64, t.schema.ClassCount)
 		n.highCounts = make([]int64, t.schema.ClassCount)
-		n.pending = data.NewTupleBag(t.schema, t.cfg.TempDir, t.budget, t.cfg.Stats)
-		n.pushed = data.NewTupleBag(t.schema, t.cfg.TempDir, t.budget, t.cfg.Stats)
+		n.pending = data.NewTupleBagEnv(t.schema, t.spillEnv(t.budget))
+		n.pushed = data.NewTupleBagEnv(t.schema, t.spillEnv(t.budget))
 	}
 	return n
 }

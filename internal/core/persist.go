@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/discretize"
@@ -61,10 +62,14 @@ func Load(r io.Reader, schema *data.Schema, cfg Config) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	budget := cfg.Budget
+	if budget == nil {
+		budget = data.NewMemBudget(cfg.MemBudgetTuples)
+	}
 	t := &Tree{
 		cfg:    cfg,
 		schema: schema,
-		budget: data.NewMemBudget(cfg.MemBudgetTuples),
+		budget: budget,
 	}
 	t.impurityBased, _ = cfg.Method.(split.ImpurityBased)
 	t.momentBased, _ = cfg.Method.(split.MomentBased)
@@ -88,10 +93,60 @@ func Load(r io.Reader, schema *data.Schema, cfg Config) (*Tree, error) {
 	}
 	root := dec.node(0)
 	if dec.err != nil {
+		// A partially decoded tree already owns buffers (and possibly temp
+		// files); close every bag the decoder created so a failed Load
+		// leaks nothing. Close is idempotent, so bags that were already
+		// replaced or closed along the way are safe to re-close.
+		for _, b := range dec.open {
+			b.Close()
+		}
 		return nil, dec.err
 	}
 	t.root = root
 	return t, nil
+}
+
+// SaveFile atomically writes the model to path: the bytes go to a
+// temporary file in the destination directory, which is synced, closed
+// and renamed over path, so a crash or storage fault mid-save can never
+// leave a truncated model at path. Transient Create/Remove/Rename faults
+// are retried under the tree's SpillRetry policy, and the temp file is
+// registered in (and on success or cleanup removed from) the process-wide
+// temp registry (data.LiveTempFiles).
+func (t *Tree) SaveFile(path string) error {
+	fs := t.cfg.FS
+	if fs == nil {
+		fs = data.OsFS{}
+	}
+	retry := t.cfg.SpillRetry
+	var f data.File
+	err := retry.Do(t.cfg.Stats, func() error {
+		var cerr error
+		f, cerr = fs.CreateTemp(filepath.Dir(path), "boat-model-*.tmp")
+		return cerr
+	})
+	if err != nil {
+		return fmt.Errorf("core: creating model temp file: %w", err)
+	}
+	name := f.Name()
+	data.RegisterTemp(name)
+	saveErr := t.Save(f)
+	if saveErr == nil {
+		saveErr = f.Sync()
+	}
+	if cerr := f.Close(); saveErr == nil {
+		saveErr = cerr
+	}
+	if saveErr == nil {
+		if saveErr = retry.Do(t.cfg.Stats, func() error { return fs.Rename(name, path) }); saveErr == nil {
+			data.UnregisterTemp(name)
+			return nil
+		}
+	}
+	if rmErr := retry.Do(t.cfg.Stats, func() error { return fs.Remove(name) }); rmErr == nil {
+		data.UnregisterTemp(name)
+	}
+	return fmt.Errorf("core: saving model to %s: %w", path, saveErr)
 }
 
 // fingerprint captures the options that determine the tree's semantics.
@@ -286,6 +341,9 @@ type decoder struct {
 	t      *Tree
 	buf    []byte
 	err    error
+	// open tracks every bag the decoder allocates, so Load can release
+	// them all if decoding fails partway.
+	open []*data.TupleBag
 }
 
 func (d *decoder) fail(err error) {
@@ -382,7 +440,8 @@ func (d *decoder) f64s() []float64 {
 
 func (d *decoder) bag() *data.TupleBag {
 	n := d.u64()
-	bag := data.NewTupleBag(d.schema, d.t.cfg.TempDir, d.t.budget, d.t.cfg.Stats)
+	bag := data.NewTupleBagEnv(d.schema, d.t.spillEnv(d.t.budget))
+	d.open = append(d.open, bag)
 	if d.err != nil {
 		return bag
 	}
@@ -447,6 +506,9 @@ func (d *decoder) node(depth int) *bnode {
 			return nil
 		}
 		n := d.t.newInternal(depth, c)
+		if n.pending != nil {
+			d.open = append(d.open, n.pending, n.pushed)
+		}
 		n.classCounts = classCounts
 		n.crit = split.Split{Found: true}
 		n.crit.Attr = int(d.i64())

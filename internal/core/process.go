@@ -61,6 +61,7 @@ func (t *Tree) processInternal(n *bnode, rdepth int, leaves *[]*bnode) error {
 			}
 		}
 		if n.pending.Len() > 0 {
+			var dups []data.Tuple
 			err := n.pending.ForEach(func(tp data.Tuple) error {
 				child := n.right
 				if tp.Values[n.coarse.attr] <= chosen.Threshold {
@@ -69,13 +70,33 @@ func (t *Tree) processInternal(n *bnode, rdepth int, leaves *[]*bnode) error {
 				if err := t.route(child, tp, +1); err != nil {
 					return err
 				}
-				return n.pushed.Add(tp)
+				if err := n.pushed.Add(tp); err != nil {
+					// The tuple reached a deeper buffer AND remains in the
+					// not-yet-reset pending set, so the gathered family of a
+					// recovery rebuild would see it twice; remember it so
+					// the duplicate can be cancelled.
+					dups = append(dups, tp.Clone())
+					return err
+				}
+				return nil
 			})
 			if err != nil {
+				if data.IsSpillError(err) {
+					// A storage fault interrupted the push. Every tuple is
+					// still present in exactly one gatherable buffer (after
+					// cancelling dups), so rebuilding the subtree from the
+					// gathered family recovers exactly.
+					return t.rebuildAfterSpillFault(n, dups, rdepth)
+				}
 				return fmt.Errorf("core: pushing stuck tuples: %w", err)
 			}
 			if err := n.pending.Reset(); err != nil {
-				return err
+				// Reset keeps the overflow file for reuse; if truncating it
+				// failed, discard the bag and start a fresh one — all its
+				// tuples were pushed successfully, so the contents are
+				// disposable.
+				n.pending.Close()
+				n.pending = data.NewTupleBagEnv(t.schema, t.spillEnv(t.budget))
 			}
 		}
 		n.routedThr = chosen.Threshold

@@ -17,10 +17,30 @@ import (
 // paper refers to; no scan of the original training database is needed.
 // rdepth is the BOAT-in-BOAT recursion depth of the enclosing pass.
 func (t *Tree) rebuildFromSubtree(n *bnode, rdepth int) error {
-	fam := data.NewTupleBag(t.schema, t.cfg.TempDir, t.budget, t.cfg.Stats)
+	return t.rebuildWithDups(n, nil, rdepth)
+}
+
+// rebuildAfterSpillFault rebuilds the subtree at n after a storage fault
+// interrupted the push of its stuck set. The buffers below n remain fully
+// scannable even when poisoned, so the family can still be gathered; dups
+// lists tuples the fault left present twice (routed into a deeper buffer
+// but still in the pending set), and one occurrence of each is cancelled.
+func (t *Tree) rebuildAfterSpillFault(n *bnode, dups []data.Tuple, rdepth int) error {
+	t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.SpillRebuilds++ })
+	return t.rebuildWithDups(n, dups, rdepth)
+}
+
+func (t *Tree) rebuildWithDups(n *bnode, dups []data.Tuple, rdepth int) error {
+	fam := data.NewTupleBagEnv(t.schema, t.spillEnv(t.budget))
 	if err := gatherFamily(n, fam); err != nil {
 		fam.Close()
 		return fmt.Errorf("core: gathering family for rebuild: %w", err)
+	}
+	for _, tp := range dups {
+		if err := fam.Remove(tp); err != nil {
+			fam.Close()
+			return err
+		}
 	}
 	t.noteRebuildTuples(fam.Len())
 	counts := make([]int64, len(n.classCounts))
@@ -35,7 +55,7 @@ func (t *Tree) rebuildFromSubtree(n *bnode, rdepth int) error {
 // after deletions). The caller (processInternal) queues the demoted leaf
 // for completion alongside the other leaves of the pass.
 func (t *Tree) demoteToLeaf(n *bnode) error {
-	fam := data.NewTupleBag(t.schema, t.cfg.TempDir, t.budget, t.cfg.Stats)
+	fam := data.NewTupleBagEnv(t.schema, t.spillEnv(t.budget))
 	if err := gatherFamily(n, fam); err != nil {
 		fam.Close()
 		return fmt.Errorf("core: gathering family for demotion: %w", err)
@@ -123,6 +143,7 @@ func (t *Tree) finishNodeFromFamily(n *bnode, fam *data.TupleBag, rdepth int) er
 				return nil
 			}
 		}
+		fam.Close()
 		return err
 	}
 	// Main-memory path: the node keeps its family as a stored-family
@@ -136,6 +157,7 @@ func (t *Tree) finishNodeFromFamily(n *bnode, fam *data.TupleBag, rdepth int) er
 		counts[tp.Class]++
 		return nil
 	}); err != nil {
+		fam.Close()
 		return err
 	}
 	n.leaf = true

@@ -30,22 +30,96 @@ const scanChunkTuples = 4096
 // cleanupScan streams src down the subtree rooted at root, returning the
 // number of tuples seen. Parallelism <= 1 follows the exact sequential
 // code path; otherwise the scan is sharded across workers.
+//
+// Storage faults degrade gracefully: a sharded scan that fails with a
+// SpillError has its statistics zeroed (resetScanState) and is rerun
+// sequentially, and a sequential scan that fails with a SpillError gets
+// one reset-and-retry before the error propagates. Both recoveries are
+// exact — the scan is the sole contributor to every statistic it touches,
+// so zero-and-rerun reproduces precisely the state a fault-free scan
+// would have built. Logical errors (bad data, schema mismatch) are never
+// retried.
 func (t *Tree) cleanupScan(src data.Source, root *bnode) (int64, error) {
-	w := t.cfg.workers()
-	if w > 1 {
-		if n, ok := src.Count(); ok && n >= 2*scanChunkTuples {
-			return t.shardedScan(src, root, w)
-		} else if !ok {
-			return t.shardedScan(src, root, w)
+	if w := t.cfg.workers(); w > 1 {
+		// Tiny known-size inputs skip sharding: the overhead cannot pay off.
+		if n, ok := src.Count(); !ok || n >= 2*scanChunkTuples {
+			seen, err := t.shardedScan(src, root, w)
+			if err == nil || !data.IsSpillError(err) {
+				return seen, err
+			}
+			// A storage fault broke the sharded scan. Scan-phase faults
+			// leave the real tree untouched (shadow trees are private),
+			// but a fault during merging may have partially mutated it,
+			// so both cases are handled uniformly: zero every scan
+			// statistic and fall back to the sequential path.
+			t.cfg.Stats.RecordScanFallback()
+			if rerr := resetScanState(root); rerr != nil {
+				return seen, fmt.Errorf("core: resetting after failed sharded scan: %w", rerr)
+			}
 		}
-		// Tiny known-size inputs: sharding overhead cannot pay off.
 	}
+	seen, err := t.sequentialScan(src, root)
+	if err != nil && data.IsSpillError(err) {
+		t.cfg.Stats.RecordScanRetry()
+		if rerr := resetScanState(root); rerr != nil {
+			return seen, fmt.Errorf("core: resetting after failed cleanup scan: %w", rerr)
+		}
+		seen, err = t.sequentialScan(src, root)
+	}
+	return seen, err
+}
+
+// sequentialScan is the single-goroutine cleanup scan.
+func (t *Tree) sequentialScan(src data.Source, root *bnode) (int64, error) {
 	var seen int64
 	err := data.ForEach(src, func(tp data.Tuple) error {
 		seen++
 		return t.route(root, tp, +1)
 	})
 	return seen, err
+}
+
+// resetScanState zeroes every statistic and buffer a cleanup scan writes
+// (class counts, AVC counts, histograms, moments, interval counts, stuck
+// sets, leaf families), so a failed scan can be rerun from scratch. It is
+// only correct when the scan being rerun is the sole contributor to those
+// statistics — true for the cleanup scan, which always runs against a
+// freshly built skeleton. Resetting a bag also clears its poisoned state,
+// provided its overflow file can be truncated.
+func resetScanState(n *bnode) error {
+	if n == nil {
+		return nil
+	}
+	clear(n.classCounts)
+	if n.isLeaf() {
+		n.dirty = true
+		return n.family.Reset()
+	}
+	for _, cc := range n.catCounts {
+		if cc != nil {
+			cc.Reset()
+		}
+	}
+	for _, h := range n.hist {
+		if h != nil {
+			h.Reset()
+		}
+	}
+	if n.moments != nil {
+		n.moments.Reset()
+	}
+	if n.coarse.kind == data.Numeric {
+		clear(n.lowCounts)
+		clear(n.highCounts)
+		n.eqLow = 0
+		if err := n.pending.Reset(); err != nil {
+			return err
+		}
+	}
+	if err := resetScanState(n.left); err != nil {
+		return err
+	}
+	return resetScanState(n.right)
 }
 
 // shardNode is one worker's private shadow of a bnode: the same
@@ -80,7 +154,7 @@ func (t *Tree) newShardTree(n *bnode, budget *data.MemBudget) *shardNode {
 	}
 	s := &shardNode{ref: n, classCounts: make([]int64, t.schema.ClassCount)}
 	if n.isLeaf() {
-		s.family = data.NewTupleBag(t.schema, t.cfg.TempDir, budget, t.cfg.Stats)
+		s.family = data.NewTupleBagEnv(t.schema, t.spillEnv(budget))
 		return s
 	}
 	s.catCounts = make([]*split.CatAVC, len(t.schema.Attributes))
@@ -99,7 +173,7 @@ func (t *Tree) newShardTree(n *bnode, budget *data.MemBudget) *shardNode {
 	if n.coarse.kind == data.Numeric {
 		s.lowCounts = make([]int64, t.schema.ClassCount)
 		s.highCounts = make([]int64, t.schema.ClassCount)
-		s.pending = data.NewTupleBag(t.schema, t.cfg.TempDir, budget, t.cfg.Stats)
+		s.pending = data.NewTupleBagEnv(t.schema, t.spillEnv(budget))
 	}
 	s.left = t.newShardTree(n.left, budget)
 	s.right = t.newShardTree(n.right, budget)
@@ -170,6 +244,7 @@ func (s *shardNode) merge() error {
 		if s.family.Len() > 0 {
 			n.dirty = true
 			if err := s.family.ForEach(n.family.Add); err != nil {
+				s.family.Close()
 				return err
 			}
 		}
@@ -198,6 +273,7 @@ func (s *shardNode) merge() error {
 		n.eqLow += s.eqLow
 		if s.pending.Len() > 0 {
 			if err := s.pending.ForEach(n.pending.Add); err != nil {
+				s.pending.Close()
 				return err
 			}
 		}
@@ -341,7 +417,10 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 
 	for i, s := range shards {
 		if err := s.merge(); err != nil {
-			for _, rest := range shards[i+1:] {
+			// Close the failed shard too: merge returns mid-walk with its
+			// un-merged buffers (and their temp files) still open. Close is
+			// idempotent, so re-closing already-merged buffers is safe.
+			for _, rest := range shards[i:] {
 				rest.close()
 			}
 			return seen, fmt.Errorf("core: merging scan shard %d: %w", i, err)

@@ -20,9 +20,16 @@ type TupleBag struct {
 	removed  int64
 }
 
-// NewTupleBag creates an empty bag; parameters as NewSpillBuffer.
+// NewTupleBag creates an empty bag over the real filesystem with default
+// retries; parameters as NewSpillBuffer.
 func NewTupleBag(schema *Schema, dir string, budget *MemBudget, rec SpillRecorder) *TupleBag {
-	return &TupleBag{add: NewSpillBuffer(schema, dir, budget, rec)}
+	return NewTupleBagEnv(schema, SpillEnv{Dir: dir, Budget: budget, Rec: rec})
+}
+
+// NewTupleBagEnv creates an empty bag whose spill buffer writes through
+// env; parameters as NewSpillBufferEnv.
+func NewTupleBagEnv(schema *Schema, env SpillEnv) *TupleBag {
+	return &TupleBag{add: NewSpillBufferEnv(schema, env)}
 }
 
 // Schema returns the bag's schema.
@@ -33,6 +40,11 @@ func (b *TupleBag) Len() int64 { return b.add.Len() - b.removed }
 
 // PendingRemovals returns the number of queued deletions.
 func (b *TupleBag) PendingRemovals() int64 { return b.removed }
+
+// Err returns the poison cause of the underlying spill buffer: non-nil
+// after an overflow write failed for good. A poisoned bag refuses Add but
+// its contents remain iterable.
+func (b *TupleBag) Err() error { return b.add.Err() }
 
 // Add clones t into the bag. If a removal of an identical tuple is pending,
 // the two cancel out.
@@ -131,13 +143,20 @@ func (b *TupleBag) Compact() error {
 	if b.removed == 0 {
 		return nil
 	}
-	fresh := NewSpillBuffer(b.add.schema, b.add.dir, b.add.budget, b.add.rec)
+	fresh := NewSpillBufferEnv(b.add.schema, b.add.env)
 	err := b.ForEach(fresh.Append)
 	if err != nil {
 		fresh.Close()
 		return err
 	}
-	b.add.Close()
+	if err := b.add.Close(); err != nil {
+		// The old buffer's contents were fully copied; a removal failure
+		// must not lose the compacted bag, but it must surface.
+		b.add = fresh
+		b.removals = nil
+		b.removed = 0
+		return err
+	}
 	b.add = fresh
 	b.removals = nil
 	b.removed = 0

@@ -327,7 +327,7 @@ func (fs *FileSource) Scan() (Scanner, error) {
 		return nil, err
 	}
 	sc := &fileScanner{
-		f:         f,
+		c:         f,
 		r:         bufio.NewReaderSize(f, 1<<18),
 		format:    fs.format,
 		tupleSize: fs.format.TupleSize(fs.schema),
@@ -337,8 +337,12 @@ func (fs *FileSource) Scan() (Scanner, error) {
 	return sc, nil
 }
 
+// fileScanner decodes fixed-size tuple records from a byte stream. c, when
+// non-nil, is closed with the scanner (the underlying file handle); the
+// spill path also feeds it stitched readers (durable file prefix plus the
+// in-memory write buffer), which own no handle.
 type fileScanner struct {
-	f         *os.File
+	c         io.Closer
 	r         *bufio.Reader
 	format    Format
 	tupleSize int
@@ -377,10 +381,10 @@ func (s *fileScanner) Next() ([]Tuple, error) {
 }
 
 func (s *fileScanner) Close() error {
-	if s.f == nil {
+	if s.c == nil {
 		return nil
 	}
-	err := s.f.Close()
-	s.f = nil
+	err := s.c.Close()
+	s.c = nil
 	return err
 }

@@ -2,16 +2,16 @@ package data
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 )
 
 // SpillRecorder receives accounting callbacks when a buffer overflows its
 // memory budget and writes tuples to temporary storage. iostats.Stats
-// implements it.
+// implements it (and FaultRecorder, its failure/retry extension).
 type SpillRecorder interface {
 	RecordSpill(tuples, bytes int64)
 }
@@ -19,9 +19,10 @@ type SpillRecorder interface {
 // MemBudget is a shared in-memory tuple budget. Spill buffers attached to
 // the same budget collectively hold at most Limit tuples in memory; beyond
 // that they overflow to temporary files. A nil *MemBudget means unlimited
-// memory. The zero Limit also means unlimited. All methods are safe for
-// concurrent use, so buffers owned by different worker goroutines may
-// share one budget.
+// memory; Limit == 0 also means unlimited; Limit < 0 means zero capacity
+// (every tuple spills — used by Split for the surplus slices of a budget
+// smaller than the worker count). All methods are safe for concurrent use,
+// so buffers owned by different worker goroutines may share one budget.
 //
 // This models the paper's low run-time memory requirement: the sets S_n of
 // tuples inside the confidence intervals are kept in memory when possible
@@ -33,12 +34,16 @@ type MemBudget struct {
 	used int64
 }
 
-// NewMemBudget returns a budget of limit tuples (0 = unlimited).
+// NewMemBudget returns a budget of limit tuples (0 = unlimited,
+// negative = zero capacity).
 func NewMemBudget(limit int64) *MemBudget { return &MemBudget{Limit: limit} }
 
 func (b *MemBudget) tryAcquire(n int64) bool {
-	if b == nil || b.Limit <= 0 {
+	if b == nil || b.Limit == 0 {
 		return true
+	}
+	if b.Limit < 0 {
+		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -72,45 +77,167 @@ func (b *MemBudget) Used() int64 {
 }
 
 // Split carves the budget into n independent per-worker slices whose
-// limits sum to at most the parent limit, so n workers filling private
+// limits sum to exactly the parent limit, so n workers filling private
 // buffers concurrently can never exceed the global budget between them.
-// An unlimited (or nil) budget yields unlimited slices.
+// The remainder is distributed one tuple at a time to the first Limit%n
+// slices; when Limit < n the surplus slices get zero capacity (every
+// append spills) rather than oversubscribing the parent. An unlimited
+// (or nil) budget yields unlimited slices.
 func (b *MemBudget) Split(n int) []*MemBudget {
+	if n < 1 {
+		n = 1
+	}
 	out := make([]*MemBudget, n)
 	if b == nil || b.Limit <= 0 {
 		return out // nil slices: unlimited
 	}
 	per := b.Limit / int64(n)
-	if per < 1 {
-		per = 1
-	}
+	extra := b.Limit % int64(n)
 	for i := range out {
-		out[i] = NewMemBudget(per)
+		lim := per
+		if int64(i) < extra {
+			lim++
+		}
+		if lim == 0 {
+			lim = -1 // zero capacity, NOT unlimited
+		}
+		out[i] = NewMemBudget(lim)
 	}
 	return out
 }
+
+// SpillEnv bundles the resources a spill buffer writes through: the
+// overflow directory, the shared memory budget, the accounting recorder,
+// the filesystem (nil = the real one) and the transient-error retry
+// policy. The zero value is valid: unlimited memory, os.TempDir overflow,
+// no accounting, default retries.
+type SpillEnv struct {
+	// Dir is the directory for temporary overflow files ("" = os.TempDir).
+	Dir string
+	// Budget is the shared in-memory tuple budget (nil = unlimited).
+	Budget *MemBudget
+	// Rec receives spill accounting (and, if it implements FaultRecorder,
+	// failure/retry accounting); may be nil.
+	Rec SpillRecorder
+	// FS is the filesystem to write through (nil = OsFS).
+	FS FS
+	// Retry bounds retry-with-backoff for transient storage errors.
+	Retry RetryPolicy
+}
+
+func (e SpillEnv) fs() FS { return fsOrDefault(e.FS) }
+
+// ---------------------------------------------------------------------------
+// spillWriter
+
+// spillFlushBytes is the buffered-bytes threshold that triggers a flush to
+// the overflow file.
+const spillFlushBytes = 1 << 16
+
+// spillWriter buffers encoded tuples and writes them to the overflow file
+// with transient-error retry. Unlike bufio.Writer, a failed flush keeps
+// the unwritten suffix buffered and tracks exactly how many bytes are
+// durable, so the file never holds a torn tuple that a later append or
+// scan would decode misaligned: file[0:durable] + buf is always a whole
+// number of tuples.
+type spillWriter struct {
+	f         File
+	retry     RetryPolicy
+	rec       SpillRecorder // spill accounting (durable bytes only)
+	frec      FaultRecorder // retry/failure accounting
+	tupleSize int
+
+	buf      []byte
+	durable  int64 // bytes successfully written to f
+	reported int64 // whole tuples already reported to rec
+}
+
+// append buffers one encoded tuple and flushes once the buffer is full.
+func (w *spillWriter) append(p []byte) error {
+	w.buf = append(w.buf, p...)
+	if len(w.buf) >= spillFlushBytes {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush writes the buffered bytes to the file, retrying transient errors
+// with exponential backoff. Whatever could not be written stays buffered;
+// spill accounting covers only bytes that durably reached the file.
+func (w *spillWriter) flush() error {
+	p := w.retry.withDefaults()
+	backoff := p.Backoff
+	tries := 0
+	for len(w.buf) > 0 {
+		n, err := w.f.Write(w.buf)
+		if n > 0 {
+			w.durable += int64(n)
+			if w.rec != nil {
+				whole := w.durable / int64(w.tupleSize)
+				if whole > w.reported {
+					w.rec.RecordSpill(whole-w.reported, int64(n))
+					w.reported = whole
+				}
+			}
+			w.buf = w.buf[:copy(w.buf, w.buf[n:])]
+		}
+		if err == nil {
+			tries = 0
+			continue
+		}
+		if !IsTransient(err) || tries >= p.Attempts-1 {
+			if w.frec != nil {
+				w.frec.RecordSpillError()
+			}
+			return &SpillError{Op: "write", Err: err}
+		}
+		tries++
+		if w.frec != nil {
+			w.frec.RecordSpillRetry()
+		}
+		p.Sleep(backoff)
+		backoff *= 2
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// SpillBuffer
 
 // SpillBuffer accumulates tuples in memory up to a shared budget and spills
 // the overflow to a temporary file. It implements Source, so a spilled
 // buffer can be scanned (and even used as the training database of a
 // recursive BOAT invocation).
+//
+// Failure semantics: a write failure that survives the retry policy
+// poisons the buffer — later Appends are refused with a SpillError
+// wrapping ErrSpillPoisoned — but everything appended before the failure
+// (including the tuple whose flush failed, which stays buffered in memory)
+// remains scannable, and Close always releases the memory budget and
+// removes the overflow file. Reset also recovers a poisoned buffer for
+// reuse, provided the file can be truncated.
 type SpillBuffer struct {
-	schema  *Schema
-	budget  *MemBudget
-	rec     SpillRecorder
-	dir     string
-	mem     []Tuple
-	file    *os.File
-	w       *bufio.Writer
-	encBuf  []byte
-	spilled int64
-	closed  bool
+	schema   *Schema
+	env      SpillEnv
+	mem      []Tuple
+	file     File
+	w        *spillWriter
+	encBuf   []byte
+	spilled  int64
+	poisoned error
+	closed   bool
 }
 
-// NewSpillBuffer creates an empty buffer. dir is the directory for the
-// temporary overflow file ("" = os.TempDir()); budget and rec may be nil.
+// NewSpillBuffer creates an empty buffer over the real filesystem with
+// default retries. dir is the directory for the temporary overflow file
+// ("" = os.TempDir()); budget and rec may be nil.
 func NewSpillBuffer(schema *Schema, dir string, budget *MemBudget, rec SpillRecorder) *SpillBuffer {
-	return &SpillBuffer{schema: schema, budget: budget, rec: rec, dir: dir}
+	return NewSpillBufferEnv(schema, SpillEnv{Dir: dir, Budget: budget, Rec: rec})
+}
+
+// NewSpillBufferEnv creates an empty buffer writing through env.
+func NewSpillBufferEnv(schema *Schema, env SpillEnv) *SpillBuffer {
+	return &SpillBuffer{schema: schema, env: env}
 }
 
 // Schema implements Source.
@@ -122,8 +249,13 @@ func (sb *SpillBuffer) Count() (int64, bool) { return sb.Len(), true }
 // Len returns the number of buffered tuples.
 func (sb *SpillBuffer) Len() int64 { return int64(len(sb.mem)) + sb.spilled }
 
-// SpilledTuples returns how many tuples live in the overflow file.
+// SpilledTuples returns how many tuples live in the overflow path (file
+// plus the not-yet-durable write buffer).
 func (sb *SpillBuffer) SpilledTuples() int64 { return sb.spilled }
+
+// Err returns the poison cause if an overflow write failed for good, nil
+// otherwise. A poisoned buffer refuses Append but remains scannable.
+func (sb *SpillBuffer) Err() error { return sb.poisoned }
 
 // Append clones t into the buffer.
 func (sb *SpillBuffer) Append(t Tuple) error {
@@ -133,7 +265,7 @@ func (sb *SpillBuffer) Append(t Tuple) error {
 	if len(t.Values) != len(sb.schema.Attributes) {
 		return ErrSchemaMismatch
 	}
-	if sb.file == nil && sb.budget.tryAcquire(1) {
+	if sb.file == nil && sb.env.Budget.tryAcquire(1) {
 		sb.mem = append(sb.mem, t.Clone())
 		return nil
 	}
@@ -141,43 +273,78 @@ func (sb *SpillBuffer) Append(t Tuple) error {
 }
 
 func (sb *SpillBuffer) spill(t Tuple) error {
+	if sb.poisoned != nil {
+		return &SpillError{Op: "append", Err: fmt.Errorf("%w: %w", ErrSpillPoisoned, sb.poisoned)}
+	}
 	if sb.file == nil {
-		f, err := os.CreateTemp(sb.dir, "boat-spill-*.tmp")
+		fs := sb.env.fs()
+		frec := faultRecorderOf(sb.env.Rec)
+		var f File
+		err := sb.env.Retry.Do(frec, func() error {
+			var cerr error
+			f, cerr = fs.CreateTemp(sb.env.Dir, "boat-spill-*.tmp")
+			return cerr
+		})
 		if err != nil {
-			return fmt.Errorf("data: creating spill file: %w", err)
+			if frec != nil {
+				frec.RecordSpillError()
+			}
+			return &SpillError{Op: "create", Err: err}
 		}
+		registerTemp(f.Name())
 		sb.file = f
-		sb.w = bufio.NewWriterSize(f, 1<<16)
+		sb.w = &spillWriter{
+			f:         f,
+			retry:     sb.env.Retry,
+			rec:       sb.env.Rec,
+			frec:      frec,
+			tupleSize: FormatWide.TupleSize(sb.schema),
+		}
 	}
 	sb.encBuf = encodeTuple(sb.encBuf[:0], FormatWide, t)
-	if _, err := sb.w.Write(sb.encBuf); err != nil {
-		return err
+	if err := sb.w.append(sb.encBuf); err != nil {
+		// The tuple itself is retained (a failed flush keeps the unwritten
+		// suffix buffered), so this append still succeeds logically; what
+		// is lost is the ability to keep writing. Poison the buffer so the
+		// next append fails fast instead of growing memory unboundedly.
+		sb.poisoned = err
 	}
 	sb.spilled++
-	if sb.rec != nil {
-		sb.rec.RecordSpill(1, int64(len(sb.encBuf)))
-	}
 	return nil
 }
 
 // Scan implements Source: iterates the in-memory part then the spilled
-// part. The buffer must not be appended to while a scan is open.
+// part. The buffer must not be appended to while a scan is open. Scans
+// never require a flush — they read the durable file prefix and replay the
+// write buffer — so even a poisoned buffer yields its complete, correctly
+// aligned contents.
 func (sb *SpillBuffer) Scan() (Scanner, error) {
 	if sb.closed {
 		return nil, errors.New("data: scan of closed spill buffer")
 	}
 	var fsc *fileScanner
-	if sb.file != nil {
-		if err := sb.w.Flush(); err != nil {
-			return nil, err
+	if sb.w != nil && sb.spilled > 0 {
+		var parts []io.Reader
+		var closer io.Closer
+		if sb.w.durable > 0 {
+			var f io.ReadCloser
+			err := sb.env.Retry.Do(faultRecorderOf(sb.env.Rec), func() error {
+				var oerr error
+				f, oerr = sb.env.fs().Open(sb.file.Name())
+				return oerr
+			})
+			if err != nil {
+				return nil, &SpillError{Op: "open", Err: err}
+			}
+			parts = append(parts, io.LimitReader(f, sb.w.durable))
+			closer = f
 		}
-		f, err := os.Open(sb.file.Name())
-		if err != nil {
-			return nil, err
+		if len(sb.w.buf) > 0 {
+			parts = append(parts, bytes.NewReader(sb.w.buf))
 		}
 		fsc = &fileScanner{
-			f:         f,
-			r:         bufio.NewReaderSize(f, 1<<18),
+			c:         closer,
+			r:         bufio.NewReaderSize(io.MultiReader(parts...), 1<<18),
 			format:    FormatWide,
 			tupleSize: FormatWide.TupleSize(sb.schema),
 			remaining: sb.spilled,
@@ -204,7 +371,11 @@ func (s *spillScanner) Next() ([]Tuple, error) {
 		s.mem = nil
 	}
 	if s.file != nil {
-		return s.file.Next()
+		batch, err := s.file.Next()
+		if err != nil && err != io.EOF {
+			return nil, &SpillError{Op: "scan", Err: err}
+		}
+		return batch, err
 	}
 	return nil, io.EOF
 }
@@ -219,36 +390,63 @@ func (s *spillScanner) Close() error {
 }
 
 // Reset discards the contents, releasing memory budget and truncating the
-// overflow file (which is kept open for reuse).
+// overflow file (which is kept open for reuse). Resetting also clears the
+// poisoned state: after a successful Reset the buffer accepts appends
+// again. If the file cannot be truncated the buffer stays poisoned.
 func (sb *SpillBuffer) Reset() error {
-	sb.budget.release(int64(len(sb.mem)))
+	sb.env.Budget.release(int64(len(sb.mem)))
 	sb.mem = nil
 	if sb.file != nil {
-		sb.w.Reset(sb.file)
 		if err := sb.file.Truncate(0); err != nil {
-			return err
+			sb.poisoned = err
+			return &SpillError{Op: "truncate", Err: err}
 		}
 		if _, err := sb.file.Seek(0, io.SeekStart); err != nil {
-			return err
+			sb.poisoned = err
+			return &SpillError{Op: "truncate", Err: err}
 		}
+		sb.w.buf = sb.w.buf[:0]
+		sb.w.durable = 0
+		sb.w.reported = 0
 	}
 	sb.spilled = 0
+	sb.poisoned = nil
 	return nil
 }
 
-// Close releases all resources including the overflow file.
+// Close releases all resources including the overflow file. It always
+// frees the memory budget, and retries transient removal failures so that
+// error paths provably clean up what they created; the file is only left
+// behind (and stays in the temp registry) if removal fails for good.
 func (sb *SpillBuffer) Close() error {
 	if sb.closed {
 		return nil
 	}
 	sb.closed = true
-	sb.budget.release(int64(len(sb.mem)))
+	sb.env.Budget.release(int64(len(sb.mem)))
 	sb.mem = nil
-	if sb.file != nil {
-		name := sb.file.Name()
-		sb.file.Close()
-		sb.file = nil
-		return os.Remove(name)
+	if sb.file == nil {
+		return nil
 	}
-	return nil
+	name := sb.file.Name()
+	var firstErr error
+	if err := sb.file.Close(); err != nil {
+		firstErr = &SpillError{Op: "close", Err: err}
+	}
+	sb.file = nil
+	sb.w = nil
+	fs := sb.env.fs()
+	frec := faultRecorderOf(sb.env.Rec)
+	err := sb.env.Retry.Do(frec, func() error { return fs.Remove(name) })
+	if err != nil {
+		if frec != nil {
+			frec.RecordSpillError()
+		}
+		if firstErr == nil {
+			firstErr = &SpillError{Op: "remove", Err: err}
+		}
+		return firstErr
+	}
+	unregisterTemp(name)
+	return firstErr
 }

@@ -1,0 +1,231 @@
+package data
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// File is the subset of *os.File the spill and persistence paths write
+// through. Abstracting it (together with FS) lets tests and soak runs
+// inject storage faults underneath the exact production code paths.
+type File interface {
+	io.Writer
+	io.Closer
+	// Name returns the path of the file.
+	Name() string
+	// Truncate changes the size of the file.
+	Truncate(size int64) error
+	// Seek sets the offset for the next write.
+	Seek(offset int64, whence int) (int64, error)
+	// Sync flushes the file to stable storage.
+	Sync() error
+}
+
+// FS abstracts the temp-file operations of the spill path. The zero-value
+// OsFS is the real filesystem; internal/faultfs wraps any FS with
+// deterministic fault injection.
+type FS interface {
+	// CreateTemp creates a new temporary file as os.CreateTemp does.
+	CreateTemp(dir, pattern string) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+}
+
+// OsFS is the FS backed by the real filesystem.
+type OsFS struct{}
+
+// CreateTemp implements FS.
+func (OsFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Open implements FS.
+func (OsFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// Remove implements FS.
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+// Rename implements FS.
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// fsOrDefault returns fs, or the real filesystem when fs is nil.
+func fsOrDefault(fs FS) FS {
+	if fs == nil {
+		return OsFS{}
+	}
+	return fs
+}
+
+// ---------------------------------------------------------------------------
+// Error classification
+
+// SpillError wraps any storage error raised on the spill path (temp-file
+// creation, writes, re-opens, removal). Callers use IsSpillError to decide
+// whether a failure is a storage fault — recoverable by falling back to a
+// different strategy — or a logical error that must propagate.
+type SpillError struct {
+	Op  string // "create", "write", "open", "remove", "truncate", "scan"
+	Err error
+}
+
+func (e *SpillError) Error() string { return fmt.Sprintf("data: spill %s: %v", e.Op, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *SpillError) Unwrap() error { return e.Err }
+
+// IsSpillError reports whether err (or anything it wraps) is a storage
+// failure of the spill path.
+func IsSpillError(err error) bool {
+	var se *SpillError
+	return errors.As(err, &se)
+}
+
+// ErrSpillPoisoned is wrapped by errors returned from appends to a buffer
+// whose overflow file suffered an unrecoverable write failure. The buffer's
+// existing contents remain readable; only further appends are refused.
+var ErrSpillPoisoned = errors.New("data: spill buffer poisoned by earlier write failure")
+
+// transienter is implemented by errors that are worth retrying (e.g. the
+// transient faults injected by internal/faultfs).
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err is a transient storage error: either it
+// declares itself transient via a Transient() bool method, or it is one of
+// the errno values that mean "try again" (EINTR, EAGAIN).
+func IsTransient(err error) bool {
+	var tr transienter
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+
+// DefaultRetryAttempts and DefaultRetryBackoff are the retry defaults for
+// transient spill-path faults: 4 total tries with 500µs/1ms/2ms backoffs.
+const (
+	DefaultRetryAttempts = 4
+	DefaultRetryBackoff  = 500 * time.Microsecond
+)
+
+// RetryPolicy bounds the retry-with-backoff loop applied to transient
+// storage errors on the spill path. The zero value selects the defaults.
+// Non-transient errors (see IsTransient) are never retried.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per operation (minimum 1).
+	// 0 selects DefaultRetryAttempts.
+	Attempts int
+	// Backoff is the sleep before the first retry, doubled per retry.
+	// 0 selects DefaultRetryBackoff.
+	Backoff time.Duration
+	// Sleep replaces time.Sleep (tests stub it out); nil = time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetryAttempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = DefaultRetryBackoff
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Do runs op, retrying transient failures under the policy. Each retry is
+// reported to rec (which may be nil). The last error is returned when the
+// attempt budget is exhausted or the failure is not transient.
+func (p RetryPolicy) Do(rec FaultRecorder, op func() error) error {
+	p = p.withDefaults()
+	backoff := p.Backoff
+	var err error
+	for try := 0; try < p.Attempts; try++ {
+		if try > 0 {
+			if rec != nil {
+				rec.RecordSpillRetry()
+			}
+			p.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// FaultRecorder is an optional extension of SpillRecorder: recorders that
+// also implement it receive retry and failure accounting from the spill
+// path. iostats.Stats implements it.
+type FaultRecorder interface {
+	// RecordSpillRetry notes one retry of a transiently failed operation.
+	RecordSpillRetry()
+	// RecordSpillError notes one spill-path operation that failed for good
+	// (after any retries).
+	RecordSpillError()
+}
+
+// faultRecorderOf extracts the optional FaultRecorder side of rec.
+func faultRecorderOf(rec SpillRecorder) FaultRecorder {
+	fr, _ := rec.(FaultRecorder)
+	return fr
+}
+
+// ---------------------------------------------------------------------------
+// Temp-file registry
+
+// The process-wide temp-file registry tracks every temporary file the spill
+// and persistence paths create, so tests and soak runs can prove that every
+// error path removed what it created. Registration is keyed by path.
+var (
+	tempMu   sync.Mutex
+	tempLive = make(map[string]struct{})
+)
+
+// RegisterTemp records path in the registry. Exported for callers (such as
+// the model-persistence path in internal/core) that create temp files
+// through an FS themselves and must participate in the same leak
+// accounting as the spill buffers.
+func RegisterTemp(path string) { registerTemp(path) }
+
+// UnregisterTemp removes path from the registry, after the file was
+// removed or renamed to its final destination.
+func UnregisterTemp(path string) { unregisterTemp(path) }
+
+func registerTemp(path string) {
+	tempMu.Lock()
+	tempLive[path] = struct{}{}
+	tempMu.Unlock()
+}
+
+func unregisterTemp(path string) {
+	tempMu.Lock()
+	delete(tempLive, path)
+	tempMu.Unlock()
+}
+
+// LiveTempFiles returns the paths of every temporary file created by this
+// package (spill overflow files, persistence temps) that has not yet been
+// removed. An empty result after all buffers are closed proves the process
+// leaked nothing.
+func LiveTempFiles() []string {
+	tempMu.Lock()
+	defer tempMu.Unlock()
+	out := make([]string, 0, len(tempLive))
+	for p := range tempLive {
+		out = append(out, p)
+	}
+	return out
+}

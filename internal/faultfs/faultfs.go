@@ -1,0 +1,203 @@
+// Package faultfs wraps a data.FS with deterministic, seed-driven fault
+// injection for the spill and persistence paths: transient and permanent
+// write errors, short writes, ENOSPC after a byte budget, and failed
+// Create/Open/Remove/Rename calls. It exists to prove — in tests and in
+// boatbench soak runs — that BOAT survives an unreliable storage layer:
+// every injected fault must end in either a tree bit-identical to the
+// fault-free build or a clean error, with no leaked temp files and a fully
+// released memory budget.
+//
+// Injection decisions come from a private PRNG seeded by Config.Seed, so a
+// sequential run replays exactly; concurrent runs stay seed-driven but the
+// interleaving of goroutines decides which operation draws which fault.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"syscall"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+// Config selects the fault mix. All probabilities are per operation in
+// [0, 1]; zero disables that fault class.
+type Config struct {
+	// Seed drives the injection PRNG.
+	Seed int64
+	// CreateProb fails CreateTemp calls.
+	CreateProb float64
+	// WriteProb fails File.Write calls with a short write (half the buffer
+	// is consumed before the error).
+	WriteProb float64
+	// OpenProb fails Open calls.
+	OpenProb float64
+	// RemoveProb fails Remove calls.
+	RemoveProb float64
+	// RenameProb fails Rename calls.
+	RenameProb float64
+	// TransientFraction is the fraction of injected faults that declare
+	// themselves transient (retryable); the rest are permanent.
+	TransientFraction float64
+	// ENOSPCAfterBytes, when > 0, makes every write fail with ENOSPC once
+	// this many bytes have been written through the FS in total.
+	ENOSPCAfterBytes int64
+	// MaxFaults caps the number of injected faults (0 = unlimited);
+	// ENOSPC exhaustion is not counted against the cap.
+	MaxFaults int64
+}
+
+// Stats counts what was injected.
+type Stats struct {
+	Creates, Writes, Opens, Removes, Renames int64 // operations seen
+	Faults                                   int64 // faults injected (excluding ENOSPC)
+	Transient                                int64 // ...of which transient
+	ENOSPC                                   int64 // writes refused for byte budget
+}
+
+// Fault is an injected storage error.
+type Fault struct {
+	Op        string
+	Path      string
+	transient bool
+	err       error // underlying errno, if the fault models one
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	kind := "permanent"
+	if f.transient {
+		kind = "transient"
+	}
+	if f.err != nil {
+		return fmt.Sprintf("faultfs: injected %s %s fault on %s: %v", kind, f.Op, f.Path, f.err)
+	}
+	return fmt.Sprintf("faultfs: injected %s %s fault on %s", kind, f.Op, f.Path)
+}
+
+// Transient reports whether the retry policy should retry this fault
+// (consumed by data.IsTransient).
+func (f *Fault) Transient() bool { return f.transient }
+
+// Unwrap exposes the modeled errno (e.g. syscall.ENOSPC) to errors.Is.
+func (f *Fault) Unwrap() error { return f.err }
+
+// FS is a data.FS with fault injection. Safe for concurrent use.
+type FS struct {
+	inner data.FS
+	cfg   Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	written int64
+	stats   Stats
+}
+
+// New wraps inner (nil = the real filesystem) with the fault mix of cfg.
+func New(inner data.FS, cfg Config) *FS {
+	if inner == nil {
+		inner = data.OsFS{}
+	}
+	return &FS{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns a copy of the injection counters.
+func (f *FS) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// inject decides (under the lock) whether the operation draws a fault and,
+// if so, whether it is transient.
+func (f *FS) inject(prob float64, seen *int64) (fault, transient bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	*seen++
+	if prob <= 0 || (f.cfg.MaxFaults > 0 && f.stats.Faults >= f.cfg.MaxFaults) {
+		return false, false
+	}
+	if f.rng.Float64() >= prob {
+		return false, false
+	}
+	f.stats.Faults++
+	transient = f.rng.Float64() < f.cfg.TransientFraction
+	if transient {
+		f.stats.Transient++
+	}
+	return true, transient
+}
+
+// CreateTemp implements data.FS.
+func (f *FS) CreateTemp(dir, pattern string) (data.File, error) {
+	if fault, transient := f.inject(f.cfg.CreateProb, &f.stats.Creates); fault {
+		return nil, &Fault{Op: "create", Path: dir + "/" + pattern, transient: transient}
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// Open implements data.FS.
+func (f *FS) Open(name string) (io.ReadCloser, error) {
+	if fault, transient := f.inject(f.cfg.OpenProb, &f.stats.Opens); fault {
+		return nil, &Fault{Op: "open", Path: name, transient: transient}
+	}
+	return f.inner.Open(name)
+}
+
+// Remove implements data.FS.
+func (f *FS) Remove(name string) error {
+	if fault, transient := f.inject(f.cfg.RemoveProb, &f.stats.Removes); fault {
+		return &Fault{Op: "remove", Path: name, transient: transient}
+	}
+	return f.inner.Remove(name)
+}
+
+// Rename implements data.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if fault, transient := f.inject(f.cfg.RenameProb, &f.stats.Renames); fault {
+		return &Fault{Op: "rename", Path: oldpath, transient: transient}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// faultFile intercepts writes; all other methods pass through.
+type faultFile struct {
+	data.File
+	fs *FS
+}
+
+// Write injects short writes and ENOSPC. A short write consumes half the
+// buffer before erroring, which is exactly the torn-tuple scenario the
+// spill writer must survive.
+func (w *faultFile) Write(p []byte) (int, error) {
+	f := w.fs
+	// ENOSPC byte budget (checked before the probabilistic faults so soak
+	// runs can combine both).
+	if f.cfg.ENOSPCAfterBytes > 0 {
+		f.mu.Lock()
+		if f.written >= f.cfg.ENOSPCAfterBytes {
+			f.stats.ENOSPC++
+			f.mu.Unlock()
+			return 0, &Fault{Op: "write", Path: w.Name(), err: syscall.ENOSPC}
+		}
+		f.mu.Unlock()
+	}
+	if fault, transient := f.inject(f.cfg.WriteProb, &f.stats.Writes); fault {
+		n, _ := w.File.Write(p[:len(p)/2])
+		f.mu.Lock()
+		f.written += int64(n)
+		f.mu.Unlock()
+		return n, &Fault{Op: "write", Path: w.Name(), transient: transient}
+	}
+	n, err := w.File.Write(p)
+	f.mu.Lock()
+	f.written += int64(n)
+	f.mu.Unlock()
+	return n, err
+}

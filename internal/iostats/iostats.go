@@ -24,6 +24,12 @@ type Stats struct {
 	bytesRead   atomic.Int64
 	spillTuples atomic.Int64
 	spillBytes  atomic.Int64
+
+	// Failure/retry accounting for the hardened spill path.
+	spillRetries  atomic.Int64
+	spillErrors   atomic.Int64
+	scanFallbacks atomic.Int64
+	scanRetries   atomic.Int64
 }
 
 // RecordScan notes the start of one sequential scan over a tracked source.
@@ -49,6 +55,38 @@ func (s *Stats) RecordSpill(tuples, bytes int64) {
 	}
 }
 
+// RecordSpillRetry implements data.FaultRecorder: one retried transient
+// spill-path fault.
+func (s *Stats) RecordSpillRetry() {
+	if s != nil {
+		s.spillRetries.Add(1)
+	}
+}
+
+// RecordSpillError implements data.FaultRecorder: one spill-path operation
+// that failed for good after retries.
+func (s *Stats) RecordSpillError() {
+	if s != nil {
+		s.spillErrors.Add(1)
+	}
+}
+
+// RecordScanFallback notes a sharded cleanup scan that failed on a storage
+// fault and fell back to the sequential scan.
+func (s *Stats) RecordScanFallback() {
+	if s != nil {
+		s.scanFallbacks.Add(1)
+	}
+}
+
+// RecordScanRetry notes a cleanup scan restarted from scratch after a
+// storage fault.
+func (s *Stats) RecordScanRetry() {
+	if s != nil {
+		s.scanRetries.Add(1)
+	}
+}
+
 // Scans returns the number of scans started.
 func (s *Stats) Scans() int64 { return s.scans.Load() }
 
@@ -64,6 +102,18 @@ func (s *Stats) SpillTuples() int64 { return s.spillTuples.Load() }
 // SpillBytes returns the bytes written to temporary storage.
 func (s *Stats) SpillBytes() int64 { return s.spillBytes.Load() }
 
+// SpillRetries returns the transient spill-path faults that were retried.
+func (s *Stats) SpillRetries() int64 { return s.spillRetries.Load() }
+
+// SpillErrors returns the spill-path operations that failed after retries.
+func (s *Stats) SpillErrors() int64 { return s.spillErrors.Load() }
+
+// ScanFallbacks returns the sharded scans that fell back to sequential.
+func (s *Stats) ScanFallbacks() int64 { return s.scanFallbacks.Load() }
+
+// ScanRetries returns the cleanup scans restarted after storage faults.
+func (s *Stats) ScanRetries() int64 { return s.scanRetries.Load() }
+
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
 	s.scans.Store(0)
@@ -71,6 +121,10 @@ func (s *Stats) Reset() {
 	s.bytesRead.Store(0)
 	s.spillTuples.Store(0)
 	s.spillBytes.Store(0)
+	s.spillRetries.Store(0)
+	s.spillErrors.Store(0)
+	s.scanFallbacks.Store(0)
+	s.scanRetries.Store(0)
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -80,6 +134,11 @@ type Snapshot struct {
 	BytesRead   int64
 	SpillTuples int64
 	SpillBytes  int64
+
+	SpillRetries  int64
+	SpillErrors   int64
+	ScanFallbacks int64
+	ScanRetries   int64
 }
 
 // Snapshot copies the current counter values.
@@ -88,29 +147,43 @@ func (s *Stats) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	return Snapshot{
-		Scans:       s.Scans(),
-		TuplesRead:  s.TuplesRead(),
-		BytesRead:   s.BytesRead(),
-		SpillTuples: s.SpillTuples(),
-		SpillBytes:  s.SpillBytes(),
+		Scans:         s.Scans(),
+		TuplesRead:    s.TuplesRead(),
+		BytesRead:     s.BytesRead(),
+		SpillTuples:   s.SpillTuples(),
+		SpillBytes:    s.SpillBytes(),
+		SpillRetries:  s.SpillRetries(),
+		SpillErrors:   s.SpillErrors(),
+		ScanFallbacks: s.ScanFallbacks(),
+		ScanRetries:   s.ScanRetries(),
 	}
 }
 
 // Sub returns the counter deltas since an earlier snapshot.
 func (a Snapshot) Sub(b Snapshot) Snapshot {
 	return Snapshot{
-		Scans:       a.Scans - b.Scans,
-		TuplesRead:  a.TuplesRead - b.TuplesRead,
-		BytesRead:   a.BytesRead - b.BytesRead,
-		SpillTuples: a.SpillTuples - b.SpillTuples,
-		SpillBytes:  a.SpillBytes - b.SpillBytes,
+		Scans:         a.Scans - b.Scans,
+		TuplesRead:    a.TuplesRead - b.TuplesRead,
+		BytesRead:     a.BytesRead - b.BytesRead,
+		SpillTuples:   a.SpillTuples - b.SpillTuples,
+		SpillBytes:    a.SpillBytes - b.SpillBytes,
+		SpillRetries:  a.SpillRetries - b.SpillRetries,
+		SpillErrors:   a.SpillErrors - b.SpillErrors,
+		ScanFallbacks: a.ScanFallbacks - b.ScanFallbacks,
+		ScanRetries:   a.ScanRetries - b.ScanRetries,
 	}
 }
 
-// String renders the snapshot compactly.
+// String renders the snapshot compactly; failure/retry counters appear
+// only when non-zero.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("scans=%d tuples=%d bytes=%d spillTuples=%d spillBytes=%d",
+	out := fmt.Sprintf("scans=%d tuples=%d bytes=%d spillTuples=%d spillBytes=%d",
 		s.Scans, s.TuplesRead, s.BytesRead, s.SpillTuples, s.SpillBytes)
+	if s.SpillRetries != 0 || s.SpillErrors != 0 || s.ScanFallbacks != 0 || s.ScanRetries != 0 {
+		out += fmt.Sprintf(" spillRetries=%d spillErrors=%d scanFallbacks=%d scanRetries=%d",
+			s.SpillRetries, s.SpillErrors, s.ScanFallbacks, s.ScanRetries)
+	}
+	return out
 }
 
 // Tracked wraps src so that every Scan and every batch read is recorded in

@@ -54,6 +54,15 @@ func (a *CatAVC) Merge(o *CatAVC) {
 	}
 }
 
+// Reset zeroes all counts (used when a failed cleanup scan is restarted).
+func (a *CatAVC) Reset() {
+	for _, row := range a.Counts {
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
 // NodeStats is the AVC-group of a node: the AVC-sets of every predictor
 // attribute plus the class totals of the family. It is the complete input
 // to impurity-based split selection.

@@ -140,6 +140,24 @@ func (m *Moments) Merge(o *Moments) {
 	}
 }
 
+// Reset zeroes all statistics (used when a failed cleanup scan is
+// restarted).
+func (m *Moments) Reset() {
+	for c := range m.ClassTotals {
+		m.ClassTotals[c] = 0
+	}
+	for i := range m.Schema.Attributes {
+		if nm := m.Num[i]; nm != nil {
+			for c := range nm.Count {
+				nm.Count[c], nm.Sum[c] = 0, 0
+				nm.SqHi[c], nm.SqLo[c] = 0, 0
+			}
+		} else {
+			m.Cat[i].Reset()
+		}
+	}
+}
+
 // MomentsFromStats derives the moments from a full AVC-group. Because the
 // sums are exact integers, the result is identical to streaming the family
 // through Moments.Add in any order.

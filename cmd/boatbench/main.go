@@ -14,15 +14,25 @@
 //	boatbench -experiment fig4
 //	boatbench -experiment all -unit 50000 -files
 //	boatbench -experiment fig12
+//	boatbench -benchjson BENCH_scan.json
+//	boatbench -experiment fig4 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
+	"github.com/boatml/boat/internal/core"
+	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/experiments"
+	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/iostats"
 	"github.com/boatml/boat/internal/split"
 )
 
@@ -81,11 +91,117 @@ func main() {
 		faults      = flag.Bool("faults", false, "run the storage fault-injection soak instead of a figure")
 		faultBuilds = flag.Int("faultbuilds", 100, "number of fault-injected builds in the soak")
 		faultSeed   = flag.Int64("faultseed", 1, "base seed for the injected fault sequence")
+
+		benchJSON   = flag.String("benchjson", "", "run the cleanup-scan micro-benchmark (row vs chunk vs sharded on the Fig-4/F1 workload) and write measurements to this JSON file instead of a figure")
+		benchTuples = flag.Int64("benchtuples", 200_000, "dataset size for -benchjson")
+		benchRounds = flag.Int("benchrounds", 3, "scan passes per mode for -benchjson")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceprofile = flag.String("traceprofile", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
+	stopProfiles, err := startProfiles(*cpuprofile, *traceprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boatbench: %v\n", err)
+		os.Exit(2)
+	}
+	code := run(mainConfig{
+		experiment: *experiment, unit: *unit, maxUnits: *maxUnits,
+		files: *files, dir: *dir, seed: *seed, method: *method,
+		para: *para, verbose: *verbose,
+		faults: *faults, faultBuilds: *faultBuilds, faultSeed: *faultSeed,
+		benchJSON: *benchJSON, benchTuples: *benchTuples, benchRounds: *benchRounds,
+	})
+	stopProfiles()
+	if err := writeMemProfile(*memprofile); err != nil {
+		fmt.Fprintf(os.Stderr, "boatbench: %v\n", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+// startProfiles begins CPU profiling and execution tracing when the
+// corresponding paths are non-empty, returning a function that flushes
+// both. Profiles must be flushed on every exit path, which is why main
+// funnels all work through run() instead of calling os.Exit directly.
+func startProfiles(cpuPath, tracePath string) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			stop()
+			return func() {}, fmt.Errorf("traceprofile: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stop()
+			return func() {}, fmt.Errorf("traceprofile: %w", err)
+		}
+		stops = append(stops, func() { trace.Stop(); f.Close() })
+	}
+	return stop, nil
+}
+
+// writeMemProfile snapshots the heap into path ("" = disabled).
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}
+
+type mainConfig struct {
+	experiment string
+	unit       int64
+	maxUnits   int
+	files      bool
+	dir        string
+	seed       int64
+	method     string
+	para       int
+	verbose    bool
+
+	faults      bool
+	faultBuilds int
+	faultSeed   int64
+
+	benchJSON   string
+	benchTuples int64
+	benchRounds int
+}
+
+func run(mc mainConfig) int {
 	var m split.Method
-	switch *method {
+	switch mc.method {
 	case "gini":
 		m = split.NewGini()
 	case "entropy":
@@ -93,33 +209,38 @@ func main() {
 	case "quest":
 		m = split.NewQuestLike()
 	default:
-		fmt.Fprintf(os.Stderr, "boatbench: unknown method %q\n", *method)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "boatbench: unknown method %q\n", mc.method)
+		return 2
 	}
+
+	if mc.benchJSON != "" {
+		return runScanBench(mc, m)
+	}
+
 	cfg := experiments.Config{
-		Unit: *unit, MaxUnits: *maxUnits, UseFiles: *files,
-		Dir: *dir, Seed: *seed, Method: m, Parallelism: *para,
+		Unit: mc.unit, MaxUnits: mc.maxUnits, UseFiles: mc.files,
+		Dir: mc.dir, Seed: mc.seed, Method: m, Parallelism: mc.para,
 	}
-	if *verbose {
+	if mc.verbose {
 		cfg.Log = os.Stderr
 	}
 
-	if *faults {
-		fmt.Printf("=== fault soak: %d builds with injected transient storage faults ===\n", *faultBuilds)
-		res, err := experiments.RunFaultSoak(cfg, *faultBuilds, *faultSeed)
+	if mc.faults {
+		fmt.Printf("=== fault soak: %d builds with injected transient storage faults ===\n", mc.faultBuilds)
+		res, err := experiments.RunFaultSoak(cfg, mc.faultBuilds, mc.faultSeed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "boatbench: fault soak: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("builds: %d | exact: %d | clean errors: %d\n", res.Builds, res.Exact, res.Failed)
 		fmt.Printf("faults injected: %d (%d transient)\n", res.InjectedFaults, res.Transient)
 		fmt.Printf("recoveries: spill-retries=%d scan-fallbacks=%d scan-retries=%d spill-rebuilds=%d\n",
 			res.SpillRetries, res.ScanFallbacks, res.ScanRetries, res.SpillRebuilds)
 		fmt.Println("every build produced the exact tree or a clean error; no temp files or budget leaked")
-		return
+		return 0
 	}
 
-	want := strings.Split(*experiment, ",")
+	want := strings.Split(mc.experiment, ",")
 	matches := func(id string) bool {
 		for _, w := range want {
 			if w == "all" || w == id {
@@ -139,7 +260,7 @@ func main() {
 		rows, err := r.run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "boatbench: %s: %v\n", r.id, err)
-			os.Exit(1)
+			return 1
 		}
 		experiments.FormatRows(os.Stdout, rows)
 	}
@@ -149,7 +270,7 @@ func main() {
 		res, err := experiments.RunInstability(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "boatbench: fig12: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("root survived bootstrap intersection: %v\n", res.RootSurvived)
 		if res.RootSurvived {
@@ -163,7 +284,90 @@ func main() {
 		fmt.Printf("BOAT tree identical to reference: %v\n", res.BOATExact)
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "boatbench: no experiment matches %q\n", *experiment)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "boatbench: no experiment matches %q\n", mc.experiment)
+		return 2
 	}
+	return 0
+}
+
+// scanBenchReport is the JSON document -benchjson writes: one measurement
+// per scan mode plus the chunk-vs-row headline ratios.
+type scanBenchReport struct {
+	Workload      string                 `json:"workload"`
+	Tuples        int64                  `json:"tuples"`
+	Rounds        int                    `json:"rounds"`
+	GOMAXPROCS    int                    `json:"gomaxprocs"`
+	Modes         []core.ScanMeasurement `json:"modes"`
+	ChunkSpeedup  float64                `json:"chunk_speedup_vs_row"`
+	AllocsRatio   float64                `json:"row_allocs_per_chunk_alloc"`
+	ChunkPerTuple float64                `json:"chunk_allocs_per_tuple"`
+}
+
+// runScanBench times cleanup-scan passes per mode (row-at-a-time
+// baseline, sequential columnar, sharded columnar) over the Fig-4/F1
+// workload, prints a table with the iostats accounting, and writes the
+// measurements as JSON. The generator output is materialized up front so
+// the benchmark isolates the scan itself.
+func runScanBench(mc mainConfig, m split.Method) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "boatbench: benchjson: %v\n", err)
+		return 1
+	}
+	n := mc.benchTuples
+	fmt.Printf("=== cleanup-scan benchmark: Fig-4/F1 workload, %d tuples, %d rounds/mode ===\n",
+		n, mc.benchRounds)
+	gsrc := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, n, mc.seed+41)
+	tuples, err := data.ReadAll(gsrc)
+	if err != nil {
+		return fail(err)
+	}
+	src := data.NewMemSource(gsrc.Schema(), tuples)
+
+	rep := scanBenchReport{
+		Workload: "fig4-f1", Tuples: n, Rounds: mc.benchRounds,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	byMode := map[core.ScanMode]core.ScanMeasurement{}
+	for _, mode := range []core.ScanMode{core.ScanModeRow, core.ScanModeChunk, core.ScanModeSharded} {
+		stats := &iostats.Stats{}
+		bench, err := core.NewScanBench(src, core.Config{
+			Method: m, MaxDepth: 6, MinSplit: 50, SampleSize: 2000,
+			Seed: 7, TempDir: mc.dir, Parallelism: mc.para, Stats: stats,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		meas, err := bench.Measure(mode, mc.benchRounds)
+		bench.Close()
+		if err != nil {
+			return fail(err)
+		}
+		rep.Modes = append(rep.Modes, meas)
+		byMode[mode] = meas
+		fmt.Printf("%-8s %12.0f tuples/sec  %10.3f allocs/tuple  %10.1f bytes/tuple\n",
+			meas.Mode, meas.TuplesPerSec, meas.AllocsPerTuple, meas.BytesPerTuple)
+		if mc.verbose {
+			fmt.Printf("         iostats: %s\n", stats.Snapshot())
+		}
+	}
+	row, chunk := byMode[core.ScanModeRow], byMode[core.ScanModeChunk]
+	if row.TuplesPerSec > 0 {
+		rep.ChunkSpeedup = chunk.TuplesPerSec / row.TuplesPerSec
+	}
+	if chunk.AllocsPerTuple > 0 {
+		rep.AllocsRatio = row.AllocsPerTuple / chunk.AllocsPerTuple
+	}
+	rep.ChunkPerTuple = chunk.AllocsPerTuple
+	fmt.Printf("chunk vs row: %.2fx tuples/sec, allocs/tuple %.4f -> %.6f\n",
+		rep.ChunkSpeedup, row.AllocsPerTuple, chunk.AllocsPerTuple)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.WriteFile(mc.benchJSON, append(out, '\n'), 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("wrote %s\n", mc.benchJSON)
+	return 0
 }

@@ -97,6 +97,14 @@ type Config struct {
 	// the main-memory algorithm. 0 selects 3.
 	MaxRebuildRecursion int
 
+	// ScanChunkRows is the row capacity of the columnar chunks the cleanup
+	// scan streams the data in.
+	// 0 selects data.DefaultChunkRows. The resulting tree is identical at
+	// every setting: all scan statistics are exact integer counts, and
+	// buffers receive their tuples in stream order regardless of how the
+	// stream is cut into chunks.
+	ScanChunkRows int
+
 	// Parallelism is the number of worker goroutines used by the three
 	// build phases: bootstrap-tree growth, the sharded cleanup scan, and
 	// the completion of independent leaves after top-down processing.
@@ -159,6 +167,14 @@ func (c Config) workers() int {
 		return 1
 	}
 	return c.Parallelism
+}
+
+// chunkRows returns the effective scan chunk row capacity.
+func (c Config) chunkRows() int {
+	if c.ScanChunkRows > 0 {
+		return c.ScanChunkRows
+	}
+	return data.DefaultChunkRows
 }
 
 // growConfig returns the reference growth rules derived from the config;

@@ -45,7 +45,7 @@ func TestParallelDeterminism(t *testing.T) {
 		for _, v := range variants {
 			t.Run(fmt.Sprintf("F%d/%s", fn, v.name), func(t *testing.T) {
 				// >= 2 scan chunks so the sharded scan actually engages.
-				src := gen.MustSource(gen.Config{Function: fn, Noise: 0.05}, 3*scanChunkTuples, int64(fn)*100+7)
+				src := gen.MustSource(gen.Config{Function: fn, Noise: 0.05}, 3*data.DefaultChunkRows, int64(fn)*100+7)
 
 				g := inmem.Config{
 					Method: v.cfg.Method, MaxDepth: v.cfg.MaxDepth, MinSplit: v.cfg.MinSplit,
@@ -86,8 +86,8 @@ func TestParallelDeterminism(t *testing.T) {
 // chunk, the tree equals the reference built over the union, for both a
 // sequential and a parallel BOAT tree.
 func TestParallelIncremental(t *testing.T) {
-	base := gen.MustSource(gen.Config{Function: 6, Noise: 0.05}, 2*scanChunkTuples, 21)
-	chunk := gen.MustSource(gen.Config{Function: 6, Noise: 0.05}, scanChunkTuples, 22)
+	base := gen.MustSource(gen.Config{Function: 6, Noise: 0.05}, 2*data.DefaultChunkRows, 21)
+	chunk := gen.MustSource(gen.Config{Function: 6, Noise: 0.05}, data.DefaultChunkRows, 22)
 
 	for _, p := range []int{1, 8} {
 		t.Run(fmt.Sprintf("P%d", p), func(t *testing.T) {

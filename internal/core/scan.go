@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"github.com/boatml/boat/internal/data"
@@ -21,11 +22,17 @@ import (
 // shards merge in worker order), and BOAT's verification pass guarantees
 // the final tree is the exact reference tree regardless of the order
 // tuples entered the buffers.
-
-// scanChunkTuples is the number of tuples per dispatched chunk. Chunks
-// amortize channel traffic and own their tuple storage (one flat slab per
-// chunk), so scanner batches can be recycled immediately.
-const scanChunkTuples = 4096
+//
+// The scan is level-synchronous over columnar chunks (data.Chunk): a node
+// receives a batch of row indices into the chunk, applies the batched
+// count kernels (CatAVC.AddBatch, Histogram.AddBatch, Moments.AddChunk)
+// attribute by attribute, partitions the batch by its coarse split in one
+// pass, and recurses. Compared to descending the tree once per tuple,
+// this keeps each kernel's working set (one attribute column plus one
+// statistic) hot across thousands of rows and makes the steady state
+// allocation-free: chunks are pooled, index batches live in per-depth
+// scratch buffers, and stuck/leaf rows are copied into the buffers' slab
+// arenas.
 
 // cleanupScan streams src down the subtree rooted at root, returning the
 // number of tuples seen. Parallelism <= 1 follows the exact sequential
@@ -40,9 +47,20 @@ const scanChunkTuples = 4096
 // would have built. Logical errors (bad data, schema mismatch) are never
 // retried.
 func (t *Tree) cleanupScan(src data.Source, root *bnode) (int64, error) {
+	seen, err := t.runCleanupScan(src, root)
+	if err == nil {
+		deriveRoutingCounts(root)
+	}
+	return seen, err
+}
+
+// runCleanupScan executes the scan passes (sharded with sequential
+// fallback, or sequential with one retry) without the post-scan count
+// derivation, which cleanupScan applies exactly once on success.
+func (t *Tree) runCleanupScan(src data.Source, root *bnode) (int64, error) {
 	if w := t.cfg.workers(); w > 1 {
 		// Tiny known-size inputs skip sharding: the overhead cannot pay off.
-		if n, ok := src.Count(); !ok || n >= 2*scanChunkTuples {
+		if n, ok := src.Count(); !ok || n >= int64(2*t.cfg.chunkRows()) {
 			seen, err := t.shardedScan(src, root, w)
 			if err == nil || !data.IsSpillError(err) {
 				return seen, err
@@ -69,12 +87,69 @@ func (t *Tree) cleanupScan(src data.Source, root *bnode) (int64, error) {
 	return seen, err
 }
 
-// sequentialScan is the single-goroutine cleanup scan.
+// deriveRoutingCounts reconstructs the per-node class statistics the
+// chunked scan defers out of its partition loop: rows routed left are
+// exactly the left child's intake and rows routed right the right
+// child's, so for a numeric internal node lowCounts = left.classCounts,
+// highCounts = right.classCounts, and classCounts = lowCounts +
+// highCounts + the stuck rows counted during the scan. A categorical
+// node's classCounts is simply the two intakes' sum (its partition
+// strands no rows). Every term is an exact integer accumulated from the
+// same tuple multiset the per-row path counts, so the derived values are
+// identical to eagerly counted ones. Must run exactly once, after a
+// successful chunked scan; leaves count their classes during the scan
+// and are left untouched.
+func deriveRoutingCounts(n *bnode) {
+	if n == nil || n.isLeaf() {
+		return
+	}
+	deriveRoutingCounts(n.left)
+	deriveRoutingCounts(n.right)
+	if n.coarse.kind == data.Numeric {
+		for i, v := range n.left.classCounts {
+			n.lowCounts[i] += v
+		}
+		for i, v := range n.right.classCounts {
+			n.highCounts[i] += v
+		}
+		for i := range n.classCounts {
+			n.classCounts[i] += n.lowCounts[i] + n.highCounts[i]
+		}
+	} else {
+		for i := range n.classCounts {
+			n.classCounts[i] += n.left.classCounts[i] + n.right.classCounts[i]
+		}
+	}
+}
+
+// sequentialScan is the single-goroutine cleanup scan: chunked iteration
+// through an aliased shard view of the real tree, so the batch router is
+// shared with the sharded path and no merge step is needed.
 func (t *Tree) sequentialScan(src data.Source, root *bnode) (int64, error) {
+	direct := newDirectTree(root)
+	rows := t.cfg.chunkRows()
+	sc := newRouteScratch(rows)
+	var seen int64
+	err := data.ForEachChunk(src, rows, func(ch *data.Chunk) error {
+		seen += int64(ch.Len())
+		return direct.routeChunk(ch, nil, sc, 0)
+	})
+	return seen, err
+}
+
+// rowScan is the row-at-a-time cleanup scan (one root-to-stick descent
+// per tuple via Tree.route). The chunked paths replaced it in the build;
+// it is retained as the baseline BenchmarkCleanupScan measures the
+// columnar path against, and as an oracle in equivalence tests. To stay
+// faithful to the path it stands in for — where every tuple was a
+// separately heap-allocated []float64 the moment it entered a buffer —
+// each tuple is cloned before routing; the shared buffers no longer do
+// that themselves.
+func (t *Tree) rowScan(src data.Source, root *bnode) (int64, error) {
 	var seen int64
 	err := data.ForEach(src, func(tp data.Tuple) error {
 		seen++
-		return t.route(root, tp, +1)
+		return t.route(root, tp.Clone(), +1)
 	})
 	return seen, err
 }
@@ -125,9 +200,12 @@ func resetScanState(n *bnode) error {
 // shardNode is one worker's private shadow of a bnode: the same
 // statistics fields, accumulated only from the tuples of that worker's
 // chunks. ref supplies the (read-only during the scan) coarse criterion
-// and tree structure.
+// and tree structure. With direct set, the shadow is an alias instead:
+// its slices and buffers are the real bnode's, so the sequential scan
+// reuses the batch router with no merge step.
 type shardNode struct {
 	ref         *bnode
+	direct      bool
 	classCounts []int64
 
 	// Internal-node shadow statistics.
@@ -180,53 +258,176 @@ func (t *Tree) newShardTree(n *bnode, budget *data.MemBudget) *shardNode {
 	return s
 }
 
-// routeShard is route (node.go) against a worker's shadow tree, insert
-// path only: the cleanup scan never deletes.
-func (s *shardNode) route(tp data.Tuple) error {
-	for {
-		s.classCounts[tp.Class]++
-		n := s.ref
-		if n.isLeaf() {
-			return s.family.Add(tp)
-		}
-		for i, cc := range s.catCounts {
-			if cc != nil {
-				cc.Add(int(tp.Values[i]), tp.Class, 1)
+// newDirectTree builds an aliased shard view of the subtree: every slice
+// and buffer is the real bnode's own, and the scalar eqLow is flushed
+// through ref. Single-goroutine use only.
+func newDirectTree(n *bnode) *shardNode {
+	if n == nil {
+		return nil
+	}
+	s := &shardNode{ref: n, direct: true, classCounts: n.classCounts}
+	if n.isLeaf() {
+		s.family = n.family
+		return s
+	}
+	s.catCounts = n.catCounts
+	s.hist = n.hist
+	s.moments = n.moments
+	if n.coarse.kind == data.Numeric {
+		s.lowCounts = n.lowCounts
+		s.highCounts = n.highCounts
+		s.pending = n.pending
+	}
+	s.left = newDirectTree(n.left)
+	s.right = newDirectTree(n.right)
+	return s
+}
+
+// routeScratch holds the per-depth index buffers of one goroutine's
+// level-synchronous descent: the partition written at depth d stays live
+// while the children recurse with the buffers of depth d+1 and below.
+// Buffers are allocated once per depth and reused for every chunk.
+type routeScratch struct {
+	rows   int
+	levels [][3][]int32 // per depth: left, right, stuck
+}
+
+func newRouteScratch(rows int) *routeScratch { return &routeScratch{rows: rows} }
+
+// at returns empty left/right/stuck index buffers for a recursion depth.
+func (sc *routeScratch) at(depth int) (left, right, stuck []int32) {
+	for len(sc.levels) <= depth {
+		sc.levels = append(sc.levels, [3][]int32{
+			make([]int32, 0, sc.rows),
+			make([]int32, 0, sc.rows),
+			make([]int32, 0, sc.rows),
+		})
+	}
+	l := &sc.levels[depth]
+	return l[0][:0], l[1][:0], l[2][:0]
+}
+
+// routeChunk is the level-synchronous insert-only cleanup-scan router:
+// it processes the chunk rows named by idx (all rows when idx is nil) at
+// this node — batched statistics updates, then a one-pass partition by
+// the coarse split — and recurses into the children with the partition's
+// index batches. depth is the recursion depth (an index into sc's
+// buffers, not the node's depth in the full tree).
+func (s *shardNode) routeChunk(ch *data.Chunk, idx []int32, sc *routeScratch, depth int) error {
+	classes := ch.Classes()
+	n := s.ref
+	if n.isLeaf() {
+		if idx == nil {
+			for _, c := range classes {
+				s.classCounts[c]++
+			}
+		} else {
+			for _, r := range idx {
+				s.classCounts[classes[r]]++
 			}
 		}
-		for i, h := range s.hist {
-			if h != nil {
-				h.Add(tp.Values[i], tp.Class, 1)
-			}
+		if s.direct && (idx == nil || len(idx) > 0) {
+			n.dirty = true
 		}
-		if s.moments != nil {
-			s.moments.Add(tp, 1)
-		}
-		c := n.coarse
-		if c.kind == data.Categorical {
-			code := uint(tp.Values[c.attr])
-			if code < 64 && c.subset&(1<<code) != 0 {
-				s = s.left
-			} else {
-				s = s.right
-			}
-			continue
-		}
-		v := tp.Values[c.attr]
-		switch {
-		case v <= c.lo:
-			s.lowCounts[tp.Class]++
-			if v == c.lo {
-				s.eqLow++
-			}
-			s = s.left
-		case v > c.hi:
-			s.highCounts[tp.Class]++
-			s = s.right
-		default:
-			return s.pending.Add(tp)
+		return s.family.AddChunkRows(ch, idx)
+	}
+	for i, cc := range s.catCounts {
+		if cc != nil {
+			cc.AddBatch(ch.Col(i), classes, idx)
 		}
 	}
+	for i, h := range s.hist {
+		if h != nil {
+			h.AddBatch(ch.Col(i), classes, idx)
+		}
+	}
+	if s.moments != nil {
+		s.moments.AddChunk(ch, idx)
+	}
+	// The partition reads only the split column: an internal node's class
+	// counting is deferred to deriveRoutingCounts, which reconstructs
+	// classCounts/lowCounts/highCounts bottom-up after the scan from the
+	// children's intake (exact integer sums, so the deferral is invisible
+	// in the results). Only the stuck rows — which descend no further —
+	// have their classes counted here.
+	c := n.coarse
+	col := ch.Col(c.attr)
+	left, right, stuck := sc.at(depth)
+	if c.kind == data.Categorical {
+		if idx == nil {
+			for r, v := range col {
+				if code := uint(v); code < 64 && c.subset&(1<<code) != 0 {
+					left = append(left, int32(r))
+				} else {
+					right = append(right, int32(r))
+				}
+			}
+		} else {
+			for _, r := range idx {
+				if code := uint(col[r]); code < 64 && c.subset&(1<<code) != 0 {
+					left = append(left, r)
+				} else {
+					right = append(right, r)
+				}
+			}
+		}
+	} else {
+		var eq int64
+		if idx == nil {
+			for r, v := range col {
+				switch {
+				case v <= c.lo:
+					if v == c.lo {
+						eq++
+					}
+					left = append(left, int32(r))
+				case v > c.hi:
+					right = append(right, int32(r))
+				default:
+					stuck = append(stuck, int32(r))
+				}
+			}
+		} else {
+			for _, r := range idx {
+				v := col[r]
+				switch {
+				case v <= c.lo:
+					if v == c.lo {
+						eq++
+					}
+					left = append(left, r)
+				case v > c.hi:
+					right = append(right, r)
+				default:
+					stuck = append(stuck, r)
+				}
+			}
+		}
+		for _, r := range stuck {
+			s.classCounts[classes[r]]++
+		}
+		if s.direct {
+			n.eqLow += eq
+		} else {
+			s.eqLow += eq
+		}
+		if len(stuck) > 0 {
+			// Inside the confidence interval: the rows stick at n, copied
+			// from the chunk into the bag's arena in stream order.
+			if err := s.pending.AddChunkRows(ch, stuck); err != nil {
+				return err
+			}
+		}
+	}
+	if len(left) > 0 {
+		if err := s.left.routeChunk(ch, left, sc, depth+1); err != nil {
+			return err
+		}
+	}
+	if len(right) > 0 {
+		return s.right.routeChunk(ch, right, sc, depth+1)
+	}
+	return nil
 }
 
 // merge folds the shard's statistics and buffers into the real tree and
@@ -302,39 +503,19 @@ func (s *shardNode) close() {
 	s.right.close()
 }
 
-// tupleChunk is an owned, densely packed run of tuples: Values slices of
-// all tuples share one flat slab, so a chunk costs three allocations
-// regardless of size.
-type tupleChunk struct {
-	tuples []data.Tuple
-	slab   []float64
-}
-
-func newTupleChunk(width int) *tupleChunk {
-	return &tupleChunk{
-		tuples: make([]data.Tuple, 0, scanChunkTuples),
-		slab:   make([]float64, 0, scanChunkTuples*width),
-	}
-}
-
-func (c *tupleChunk) add(tp data.Tuple) {
-	start := len(c.slab)
-	c.slab = append(c.slab, tp.Values...)
-	c.tuples = append(c.tuples, data.Tuple{Values: c.slab[start:len(c.slab):len(c.slab)], Class: tp.Class})
-}
-
-func (c *tupleChunk) full() bool { return len(c.tuples) >= scanChunkTuples }
-
-// shardedScan partitions the stream into chunks dealt round-robin to w
-// workers, each routing into a private shadow tree, then merges the
-// shadow trees in worker order. The round-robin deal plus ordered merge
-// makes the merged buffers deterministic for a given worker count.
+// shardedScan partitions the stream into pooled columnar chunks dealt
+// round-robin to w workers, each batch-routing into a private shadow
+// tree, then merges the shadow trees in worker order. The round-robin
+// deal plus ordered merge makes the merged buffers deterministic for a
+// given worker count.
 func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 	budgets := t.budget.Split(w)
 	shards := make([]*shardNode, w)
 	for i := range shards {
 		shards[i] = t.newShardTree(root, budgets[i])
 	}
+	rows := t.cfg.chunkRows()
+	pool := data.NewChunkPool(len(t.schema.Attributes), rows)
 
 	var (
 		wg      sync.WaitGroup
@@ -348,59 +529,61 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 			close(failed)
 		})
 	}
-	chans := make([]chan *tupleChunk, w)
+	chans := make([]chan *data.Chunk, w)
 	for i := range chans {
-		chans[i] = make(chan *tupleChunk, 2)
+		chans[i] = make(chan *data.Chunk, 2)
 		wg.Add(1)
-		go func(shard *shardNode, in <-chan *tupleChunk) {
+		go func(shard *shardNode, in <-chan *data.Chunk) {
 			defer wg.Done()
+			sc := newRouteScratch(rows)
 			ok := true
 			for chunk := range in {
-				if !ok {
-					continue // drain after failure so the dealer never blocks
-				}
-				for _, tp := range chunk.tuples {
-					if err := shard.route(tp); err != nil {
+				if ok {
+					if err := shard.routeChunk(chunk, nil, sc, 0); err != nil {
 						fail(err)
-						ok = false
-						break
+						ok = false // drain after failure so the dealer never blocks
 					}
 				}
+				pool.Put(chunk)
 			}
 		}(shards[i], chans[i])
 	}
 
-	// Deal chunks round-robin. Scanner batches are only valid until the
-	// next Next call, so tuples are copied into chunk-owned slabs.
-	width := len(t.schema.Attributes)
-	var (
-		seen  int64
-		next  int
-		chunk = newTupleChunk(width)
-	)
-	dispatch := func(c *tupleChunk) bool {
-		select {
-		case chans[next%w] <- c:
-			next++
-			return true
-		case <-failed:
-			return false
+	// Deal chunks round-robin. The dealer owns each chunk until the send;
+	// the worker returns it to the pool after routing.
+	var seen int64
+	scanErr := func() error {
+		csc, err := data.ScanChunks(src)
+		if err != nil {
+			return err
 		}
-	}
-	scanErr := data.ForEach(src, func(tp data.Tuple) error {
-		seen++
-		chunk.add(tp)
-		if chunk.full() {
-			if !dispatch(chunk) {
+		defer csc.Close()
+		next := 0
+		for {
+			chunk := pool.Get()
+			err := csc.NextChunk(chunk)
+			if err == io.EOF {
+				pool.Put(chunk)
+				return csc.Close()
+			}
+			if err != nil {
+				pool.Put(chunk)
+				return err
+			}
+			if chunk.Len() == 0 {
+				pool.Put(chunk)
+				continue
+			}
+			seen += int64(chunk.Len())
+			select {
+			case chans[next%w] <- chunk:
+				next++
+			case <-failed:
+				pool.Put(chunk)
 				return workErr
 			}
-			chunk = newTupleChunk(width)
 		}
-		return nil
-	})
-	if scanErr == nil && len(chunk.tuples) > 0 && !dispatch(chunk) {
-		scanErr = workErr
-	}
+	}()
 	for _, ch := range chans {
 		close(ch)
 	}

@@ -16,8 +16,40 @@ import (
 // removed from the training dataset (Section 4).
 type TupleBag struct {
 	add      *SpillBuffer
-	removals map[string]int64
+	removals map[uint64][]removalEntry
 	removed  int64
+}
+
+// removalEntry is one distinct tuple awaiting removal, bucketed by its
+// Hash64. The hash-keyed buckets (with an Equal check against entries)
+// replace a map keyed by Tuple.Key(), whose string key cost one
+// allocation per lookup on the Add fast path.
+type removalEntry struct {
+	t     Tuple
+	count int64
+}
+
+// consumeRemoval cancels one pending removal matching t, reporting whether
+// a match was found.
+func consumeRemoval(pending map[uint64][]removalEntry, t Tuple) bool {
+	h := t.Hash64()
+	bucket := pending[h]
+	for i := range bucket {
+		if bucket[i].t.Equal(t) {
+			if bucket[i].count > 1 {
+				bucket[i].count--
+				return true
+			}
+			bucket[i] = bucket[len(bucket)-1]
+			if bucket = bucket[:len(bucket)-1]; len(bucket) == 0 {
+				delete(pending, h)
+			} else {
+				pending[h] = bucket
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // NewTupleBag creates an empty bag over the real filesystem with default
@@ -46,22 +78,48 @@ func (b *TupleBag) PendingRemovals() int64 { return b.removed }
 // its contents remain iterable.
 func (b *TupleBag) Err() error { return b.add.Err() }
 
-// Add clones t into the bag. If a removal of an identical tuple is pending,
-// the two cancel out.
+// Add copies t into the bag. If a removal of an identical tuple is
+// pending, the two cancel out.
 func (b *TupleBag) Add(t Tuple) error {
-	if b.removed > 0 {
-		k := t.Key()
-		if c, ok := b.removals[k]; ok {
-			if c == 1 {
-				delete(b.removals, k)
-			} else {
-				b.removals[k] = c - 1
-			}
-			b.removed--
-			return nil
-		}
+	if b.removed > 0 && consumeRemoval(b.removals, t) {
+		b.removed--
+		return nil
 	}
 	return b.add.Append(t)
+}
+
+// AddChunkRow adds row r of ch without materializing a Tuple: the row is
+// copied straight from the chunk columns into the spill buffer. Removal
+// cancellation still applies in the (rare on the scan path) case that
+// deletions are pending, gathering the row to match it.
+func (b *TupleBag) AddChunkRow(ch *Chunk, r int) error {
+	if b.removed > 0 {
+		return b.Add(ch.TupleCopy(r))
+	}
+	return b.add.AppendChunkRow(ch, r)
+}
+
+// AddChunkRows adds the chunk rows named by idx (all rows when idx is
+// nil). With no pending removals — the steady state of the cleanup scan —
+// the rows are copied column-wise in one batch.
+func (b *TupleBag) AddChunkRows(ch *Chunk, idx []int32) error {
+	if b.removed == 0 {
+		return b.add.AppendChunkRows(ch, idx)
+	}
+	if idx == nil {
+		for r := 0; r < ch.Len(); r++ {
+			if err := b.AddChunkRow(ch, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range idx {
+		if err := b.AddChunkRow(ch, int(r)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Remove queues the deletion of one occurrence of t. The occurrence must
@@ -69,9 +127,18 @@ func (b *TupleBag) Add(t Tuple) error {
 // next ForEach/Materialize/Compact.
 func (b *TupleBag) Remove(t Tuple) error {
 	if b.removals == nil {
-		b.removals = make(map[string]int64)
+		b.removals = make(map[uint64][]removalEntry)
 	}
-	b.removals[t.Key()]++
+	h := t.Hash64()
+	bucket := b.removals[h]
+	for i := range bucket {
+		if bucket[i].t.Equal(t) {
+			bucket[i].count++
+			b.removed++
+			return nil
+		}
+	}
+	b.removals[h] = append(bucket, removalEntry{t: t.Clone(), count: 1})
 	b.removed++
 	return nil
 }
@@ -79,12 +146,14 @@ func (b *TupleBag) Remove(t Tuple) error {
 // ForEach iterates the net content of the bag (additions minus removals).
 // Tuples passed to fn are only valid during the call.
 func (b *TupleBag) ForEach(fn func(Tuple) error) error {
-	var pending map[string]int64
+	var pending map[uint64][]removalEntry
 	left := b.removed
 	if left > 0 {
-		pending = make(map[string]int64, len(b.removals))
-		for k, v := range b.removals {
-			pending[k] = v
+		// Deep-copy the buckets (entries share tuple storage with the
+		// originals) because consumeRemoval mutates counts.
+		pending = make(map[uint64][]removalEntry, len(b.removals))
+		for h, bucket := range b.removals {
+			pending[h] = append([]removalEntry(nil), bucket...)
 		}
 	}
 	sc, err := b.add.Scan()
@@ -101,17 +170,9 @@ func (b *TupleBag) ForEach(fn func(Tuple) error) error {
 			return err
 		}
 		for _, t := range batch {
-			if left > 0 {
-				k := t.Key()
-				if c, ok := pending[k]; ok {
-					if c == 1 {
-						delete(pending, k)
-					} else {
-						pending[k] = c - 1
-					}
-					left--
-					continue
-				}
+			if left > 0 && consumeRemoval(pending, t) {
+				left--
+				continue
 			}
 			if err := fn(t); err != nil {
 				return err
@@ -124,11 +185,23 @@ func (b *TupleBag) ForEach(fn func(Tuple) error) error {
 	return nil
 }
 
-// Materialize returns deep copies of the bag's net content.
+// Materialize returns deep copies of the bag's net content. The copies
+// share one backing array rather than paying one allocation per tuple.
 func (b *TupleBag) Materialize() ([]Tuple, error) {
-	out := make([]Tuple, 0, b.Len())
+	width := len(b.Schema().Attributes)
+	n := b.Len()
+	if n < 0 {
+		n = 0
+	}
+	out := make([]Tuple, 0, n)
+	backing := make([]float64, 0, int(n)*width)
 	err := b.ForEach(func(t Tuple) error {
-		out = append(out, t.Clone())
+		if cap(backing)-len(backing) < width {
+			backing = make([]float64, 0, max(width*DefaultBatchSize, width))
+		}
+		start := len(backing)
+		backing = append(backing, t.Values...)
+		out = append(out, Tuple{Values: backing[start:len(backing):len(backing)], Class: t.Class})
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,293 @@
+package data
+
+import (
+	"io"
+	"sync"
+)
+
+// Chunk is a columnar (structure-of-arrays) batch of tuples: one flat
+// []float64 backing array holding every attribute column contiguously,
+// plus an []int32 class column. The cleanup scan and the batched count
+// kernels (CatAVC.AddBatch, Histogram.AddBatch, NumMoments.AddBatch)
+// operate on chunks instead of individual Tuples, which removes the
+// per-tuple allocation and per-tuple virtual-call overhead of the
+// row-at-a-time path and keeps each kernel's working set (one attribute
+// column plus one statistic) hot across thousands of rows.
+//
+// Layout: attribute a's column occupies vals[a*stride : a*stride+n] where
+// stride is the chunk's row capacity, so Col(a) is a contiguous slice.
+// A Chunk costs exactly two allocations regardless of capacity and is
+// reusable via Reset; ChunkPool recycles chunks across scans.
+type Chunk struct {
+	width  int
+	stride int
+	n      int
+	vals   []float64
+	class  []int32
+}
+
+// DefaultChunkRows is the row capacity used by the built-in chunked scan
+// paths when the caller does not choose one.
+const DefaultChunkRows = 4096
+
+// NewChunk allocates an empty chunk for tuples of the given width
+// (attribute count) with capacity rows.
+func NewChunk(width, rows int) *Chunk {
+	if width < 1 {
+		width = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Chunk{
+		width:  width,
+		stride: rows,
+		vals:   make([]float64, width*rows),
+		class:  make([]int32, rows),
+	}
+}
+
+// Len returns the number of rows currently held.
+func (c *Chunk) Len() int { return c.n }
+
+// Cap returns the row capacity.
+func (c *Chunk) Cap() int { return c.stride }
+
+// Width returns the attribute count.
+func (c *Chunk) Width() int { return c.width }
+
+// Full reports whether the chunk is at capacity.
+func (c *Chunk) Full() bool { return c.n >= c.stride }
+
+// Reset empties the chunk, keeping its storage.
+func (c *Chunk) Reset() { c.n = 0 }
+
+// Col returns attribute a's column: one value per row, contiguous.
+func (c *Chunk) Col(a int) []float64 { return c.vals[a*c.stride : a*c.stride+c.n] }
+
+// Classes returns the class-label column (one code per row).
+func (c *Chunk) Classes() []int32 { return c.class[:c.n] }
+
+// Value returns the value of attribute a in row r.
+func (c *Chunk) Value(r, a int) float64 { return c.vals[a*c.stride+r] }
+
+// Class returns the class label of row r.
+func (c *Chunk) Class(r int) int { return int(c.class[r]) }
+
+// AppendTuple transposes one row-major tuple into the columns. The chunk
+// must not be full.
+func (c *Chunk) AppendTuple(t Tuple) {
+	r := c.n
+	for a, v := range t.Values {
+		c.vals[a*c.stride+r] = v
+	}
+	c.class[r] = int32(t.Class)
+	c.n++
+}
+
+// AppendRow transposes one row of raw values into the columns. The chunk
+// must not be full; len(vals) must equal Width.
+func (c *Chunk) AppendRow(vals []float64, class int) {
+	r := c.n
+	for a, v := range vals {
+		c.vals[a*c.stride+r] = v
+	}
+	c.class[r] = int32(class)
+	c.n++
+}
+
+// Gather copies row r's values into dst (which must have length Width).
+func (c *Chunk) Gather(r int, dst []float64) {
+	for a := range dst {
+		dst[a] = c.vals[a*c.stride+r]
+	}
+}
+
+// AppendFrom bulk-appends rows [from, from+n) of src, which must have the
+// same width; the copy is one contiguous memmove per column. The chunk
+// must have room for n more rows.
+func (c *Chunk) AppendFrom(src *Chunk, from, n int) {
+	for a := 0; a < c.width; a++ {
+		copy(c.vals[a*c.stride+c.n:], src.vals[a*src.stride+from:a*src.stride+from+n])
+	}
+	copy(c.class[c.n:], src.class[from:from+n])
+	c.n += n
+}
+
+// AppendGather appends the rows of src selected by idx, column by column:
+// each column is a gathered read from one hot source column and a
+// sequential write, instead of a per-row strided scatter. Same width
+// required; the chunk must have room for len(idx) more rows.
+func (c *Chunk) AppendGather(src *Chunk, idx []int32) {
+	n := len(idx)
+	for a := 0; a < c.width; a++ {
+		dst := c.vals[a*c.stride+c.n : a*c.stride+c.n+n]
+		col := src.vals[a*src.stride:]
+		for i, r := range idx {
+			dst[i] = col[r]
+		}
+	}
+	cls := c.class[c.n : c.n+n]
+	for i, r := range idx {
+		cls[i] = src.class[r]
+	}
+	c.n += n
+}
+
+// AppendRowOf appends row r of src (same width; the chunk must not be
+// full).
+func (c *Chunk) AppendRowOf(src *Chunk, r int) {
+	for a := 0; a < c.width; a++ {
+		c.vals[a*c.stride+c.n] = src.vals[a*src.stride+r]
+	}
+	c.class[c.n] = src.class[r]
+	c.n++
+}
+
+// TupleCopy returns a freshly allocated row-major copy of row r.
+func (c *Chunk) TupleCopy(r int) Tuple {
+	vals := make([]float64, c.width)
+	c.Gather(r, vals)
+	return Tuple{Values: vals, Class: c.Class(r)}
+}
+
+// ChunkPool recycles chunks of one fixed geometry. It is safe for
+// concurrent use; the sharded cleanup scan's dealer gets chunks from the
+// pool and the routing workers put them back once merged.
+type ChunkPool struct {
+	width, rows int
+	pool        sync.Pool
+}
+
+// NewChunkPool creates a pool of width×rows chunks.
+func NewChunkPool(width, rows int) *ChunkPool {
+	if rows < 1 {
+		rows = DefaultChunkRows
+	}
+	return &ChunkPool{width: width, rows: rows}
+}
+
+// Rows returns the row capacity of the pool's chunks.
+func (p *ChunkPool) Rows() int { return p.rows }
+
+// Get returns an empty chunk (recycled if available).
+func (p *ChunkPool) Get() *Chunk {
+	if c, ok := p.pool.Get().(*Chunk); ok {
+		c.Reset()
+		return c
+	}
+	return NewChunk(p.width, p.rows)
+}
+
+// Put recycles a chunk obtained from Get.
+func (p *ChunkPool) Put(c *Chunk) {
+	if c != nil {
+		p.pool.Put(c)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chunked scanning
+
+// ChunkScanner iterates a dataset sequentially in columnar chunks.
+// NextChunk fills the caller-supplied (empty) chunk with up to Cap rows
+// and returns io.EOF once the scan is exhausted; because the caller owns
+// the chunk storage, chunked scans hand over batches without copying them
+// a second time.
+type ChunkScanner interface {
+	// NextChunk appends up to dst.Cap()-dst.Len() rows into dst. It
+	// returns io.EOF (with dst unchanged) once the source is exhausted;
+	// a partial fill is not an error.
+	NextChunk(dst *Chunk) error
+	Close() error
+}
+
+// ChunkedSource is implemented by sources with a native columnar scan
+// path (decoding or generating straight into chunk columns). Sources
+// without one are adapted from their row Scanner by ScanChunks.
+type ChunkedSource interface {
+	Source
+	ScanChunks() (ChunkScanner, error)
+}
+
+// ScanChunks begins a chunked scan over src: the source's native columnar
+// scan when it implements ChunkedSource, otherwise an adapter that packs
+// the row Scanner's batches into the destination chunks.
+func ScanChunks(src Source) (ChunkScanner, error) {
+	if cs, ok := src.(ChunkedSource); ok {
+		return cs.ScanChunks()
+	}
+	sc, err := src.Scan()
+	if err != nil {
+		return nil, err
+	}
+	return &rowChunkScanner{sc: sc}, nil
+}
+
+// rowChunkScanner adapts a row Scanner to the chunked interface.
+type rowChunkScanner struct {
+	sc    Scanner
+	batch []Tuple
+	pos   int
+	done  bool
+}
+
+func (s *rowChunkScanner) NextChunk(dst *Chunk) error {
+	filled := false
+	for !dst.Full() {
+		if s.pos >= len(s.batch) {
+			if s.done {
+				break
+			}
+			batch, err := s.sc.Next()
+			if err == io.EOF {
+				s.done = true
+				break
+			}
+			if err != nil {
+				return err
+			}
+			s.batch, s.pos = batch, 0
+			continue
+		}
+		dst.AppendTuple(s.batch[s.pos])
+		s.pos++
+		filled = true
+	}
+	if !filled && dst.Len() == 0 {
+		return io.EOF
+	}
+	return nil
+}
+
+func (s *rowChunkScanner) Close() error { return s.sc.Close() }
+
+// ForEachChunk scans src once in chunks of the given row capacity,
+// invoking fn for every non-empty chunk. The chunk (and its columns) is
+// only valid during the call; it is reused between invocations.
+func ForEachChunk(src Source, rows int, fn func(*Chunk) error) error {
+	sc, err := ScanChunks(src)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	ch := NewChunk(len(src.Schema().Attributes), rows)
+	for {
+		ch.Reset()
+		err := sc.NextChunk(ch)
+		if err == io.EOF {
+			return sc.Close()
+		}
+		if err != nil {
+			sc.Close()
+			return err
+		}
+		if ch.Len() == 0 {
+			continue
+		}
+		if err := fn(ch); err != nil {
+			sc.Close()
+			return err
+		}
+	}
+}

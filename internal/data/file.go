@@ -337,6 +337,109 @@ func (fs *FileSource) Scan() (Scanner, error) {
 	return sc, nil
 }
 
+// ScanChunks implements ChunkedSource: records are decoded from the raw
+// byte stream directly into the destination chunk's columns, never
+// materializing row-major Tuples at all.
+func (fs *FileSource) ScanChunks() (ChunkScanner, error) {
+	f, err := os.Open(fs.path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(fs.headerLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileChunkScanner{
+		c:         f,
+		r:         bufio.NewReaderSize(f, 1<<18),
+		format:    fs.format,
+		tupleSize: fs.format.TupleSize(fs.schema),
+		remaining: fs.count,
+	}, nil
+}
+
+// fileChunkScanner decodes fixed-size records straight into chunk columns.
+type fileChunkScanner struct {
+	c         io.Closer
+	r         *bufio.Reader
+	format    Format
+	tupleSize int
+	remaining int64
+	raw       []byte
+}
+
+func (s *fileChunkScanner) NextChunk(dst *Chunk) error {
+	if s.remaining == 0 {
+		return io.EOF
+	}
+	n := int64(dst.Cap() - dst.Len())
+	if n > s.remaining {
+		n = s.remaining
+	}
+	if n <= 0 {
+		return nil
+	}
+	want := int(n) * s.tupleSize
+	if cap(s.raw) < want {
+		s.raw = make([]byte, want)
+	}
+	raw := s.raw[:want]
+	if _, err := io.ReadFull(s.r, raw); err != nil {
+		return fmt.Errorf("data: scan read: %w", err)
+	}
+	for i := int64(0); i < n; i++ {
+		decodeChunkRow(raw[int(i)*s.tupleSize:], s.format, dst)
+	}
+	s.remaining -= n
+	return nil
+}
+
+func (s *fileChunkScanner) Close() error {
+	if s.c == nil {
+		return nil
+	}
+	err := s.c.Close()
+	s.c = nil
+	return err
+}
+
+// decodeChunkRow decodes one encoded record into the next row of c
+// (which must not be full).
+func decodeChunkRow(buf []byte, f Format, c *Chunk) {
+	r := c.n
+	switch f {
+	case FormatCompact:
+		for a := 0; a < c.width; a++ {
+			bits := binary.LittleEndian.Uint32(buf[4*a:])
+			c.vals[a*c.stride+r] = float64(math.Float32frombits(bits))
+		}
+		c.class[r] = int32(binary.LittleEndian.Uint32(buf[4*c.width:]))
+	default:
+		for a := 0; a < c.width; a++ {
+			bits := binary.LittleEndian.Uint64(buf[8*a:])
+			c.vals[a*c.stride+r] = math.Float64frombits(bits)
+		}
+		c.class[r] = int32(binary.LittleEndian.Uint32(buf[8*c.width:]))
+	}
+	c.n++
+}
+
+// encodeChunkRow appends the encoding of row r of c to buf (the chunked
+// counterpart of encodeTuple, used by the spill path).
+func encodeChunkRow(buf []byte, f Format, c *Chunk, r int) []byte {
+	switch f {
+	case FormatCompact:
+		for a := 0; a < c.width; a++ {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(c.vals[a*c.stride+r])))
+		}
+	default:
+		for a := 0; a < c.width; a++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.vals[a*c.stride+r]))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, uint32(c.class[r]))
+}
+
 // fileScanner decodes fixed-size tuple records from a byte stream. c, when
 // non-nil, is closed with the scanner (the underlying file handle); the
 // spill path also feeds it stitched readers (durable file prefix plus the

@@ -16,17 +16,31 @@ func ReservoirSample(src Source, n int, rng *rand.Rand) ([]Tuple, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	// The scan is chunked and the reservoir lives in one fixed backing
+	// array (replacement overwrites a slot in place), so sampling allocates
+	// a constant amount regardless of |D|. The RNG consumption — one Int63n
+	// per tuple once the reservoir is full, in stream order — is identical
+	// to the row-at-a-time formulation, so seeded runs reproduce the same
+	// sample.
+	width := len(src.Schema().Attributes)
+	backing := make([]float64, n*width)
 	reservoir := make([]Tuple, 0, n)
 	var seen int64
-	err := ForEach(src, func(t Tuple) error {
-		seen++
-		if len(reservoir) < n {
-			reservoir = append(reservoir, t.Clone())
-			return nil
-		}
-		j := rng.Int63n(seen)
-		if j < int64(n) {
-			reservoir[j] = t.Clone()
+	err := ForEachChunk(src, DefaultChunkRows, func(ch *Chunk) error {
+		for r := 0; r < ch.Len(); r++ {
+			seen++
+			if len(reservoir) < n {
+				k := len(reservoir)
+				vals := backing[k*width : (k+1)*width : (k+1)*width]
+				ch.Gather(r, vals)
+				reservoir = append(reservoir, Tuple{Values: vals, Class: ch.Class(r)})
+				continue
+			}
+			j := rng.Int63n(seen)
+			if j < int64(n) {
+				ch.Gather(r, reservoir[j].Values)
+				reservoir[j].Class = ch.Class(r)
+			}
 		}
 		return nil
 	})

@@ -3,6 +3,7 @@ package data
 import (
 	"errors"
 	"io"
+	"sync"
 )
 
 // Scanner iterates a dataset sequentially in batches. The tuples returned
@@ -34,10 +35,14 @@ const DefaultBatchSize = 1024
 // In-memory source
 
 // MemSource is an in-memory Source backed by a tuple slice. The slice is
-// not copied; callers must not mutate it while scans are active.
+// not copied; callers must not mutate it (or the tuples it holds) after
+// the first scan — chunked scans serve from a columnar mirror built once.
 type MemSource struct {
 	schema *Schema
 	tuples []Tuple
+
+	mirrorOnce sync.Once
+	mirror     *Chunk // columnar mirror of tuples, built on first ScanChunks
 }
 
 // NewMemSource wraps tuples as a Source.
@@ -58,6 +63,43 @@ func (m *MemSource) Tuples() []Tuple { return m.tuples }
 func (m *MemSource) Scan() (Scanner, error) {
 	return &memScanner{tuples: m.tuples}, nil
 }
+
+// ScanChunks implements ChunkedSource: chunks are served by column-wise
+// copies from a columnar mirror of the tuple slice. The mirror is
+// transposed once, on the first chunked scan, and amortized across every
+// later pass (a build scans the source at least twice: sampling and
+// cleanup).
+func (m *MemSource) ScanChunks() (ChunkScanner, error) {
+	m.mirrorOnce.Do(func() {
+		c := NewChunk(len(m.schema.Attributes), len(m.tuples))
+		for _, t := range m.tuples {
+			c.AppendTuple(t)
+		}
+		m.mirror = c
+	})
+	return &memChunkScanner{mirror: m.mirror}, nil
+}
+
+type memChunkScanner struct {
+	mirror *Chunk
+	pos    int
+}
+
+func (s *memChunkScanner) NextChunk(dst *Chunk) error {
+	total := s.mirror.Len()
+	if s.pos >= total {
+		return io.EOF
+	}
+	n := dst.Cap() - dst.Len()
+	if rest := total - s.pos; n > rest {
+		n = rest
+	}
+	dst.AppendFrom(s.mirror, s.pos, n)
+	s.pos += n
+	return nil
+}
+
+func (s *memChunkScanner) Close() error { return nil }
 
 type memScanner struct {
 	tuples []Tuple
@@ -108,14 +150,24 @@ func ForEach(src Source, fn func(Tuple) error) error {
 	}
 }
 
-// ReadAll scans src once and returns deep copies of all tuples.
+// ReadAll scans src once and returns deep copies of all tuples. The
+// copies share one backing array per batch of rows rather than paying one
+// allocation per tuple.
 func ReadAll(src Source) ([]Tuple, error) {
 	var out []Tuple
+	width := len(src.Schema().Attributes)
+	var backing []float64
 	if n, ok := src.Count(); ok {
 		out = make([]Tuple, 0, n)
+		backing = make([]float64, 0, int(n)*width)
 	}
 	err := ForEach(src, func(t Tuple) error {
-		out = append(out, t.Clone())
+		if cap(backing)-len(backing) < width {
+			backing = make([]float64, 0, max(width*DefaultBatchSize, width))
+		}
+		start := len(backing)
+		backing = append(backing, t.Values...)
+		out = append(out, Tuple{Values: backing[start:len(backing):len(backing)], Class: t.Class})
 		return nil
 	})
 	if err != nil {

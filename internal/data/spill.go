@@ -54,6 +54,31 @@ func (b *MemBudget) tryAcquire(n int64) bool {
 	return true
 }
 
+// acquireUpTo acquires as many of n tuples as the budget allows in one
+// locked step and returns the count. The greedy in-order semantics match
+// a loop of tryAcquire(1): the first `acquired` tuples of a batch stay in
+// memory and the rest spill — exactly the split a per-tuple append
+// sequence would produce, so batch appends do not change what spills.
+func (b *MemBudget) acquireUpTo(n int64) int64 {
+	if b == nil || b.Limit == 0 {
+		return n
+	}
+	if b.Limit < 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	avail := b.Limit - b.used
+	if avail > n {
+		avail = n
+	}
+	if avail < 0 {
+		avail = 0
+	}
+	b.used += avail
+	return avail
+}
+
 func (b *MemBudget) release(n int64) {
 	if b == nil || b.Limit <= 0 {
 		return
@@ -217,15 +242,47 @@ func (w *spillWriter) flush() error {
 // removes the overflow file. Reset also recovers a poisoned buffer for
 // reuse, provided the file can be truncated.
 type SpillBuffer struct {
-	schema   *Schema
-	env      SpillEnv
-	mem      []Tuple
-	file     File
-	w        *spillWriter
-	encBuf   []byte
-	spilled  int64
-	poisoned error
-	closed   bool
+	schema *Schema
+	env    SpillEnv
+	// The in-memory part is stored as columnar chunks, free of pointers:
+	// no per-tuple Tuple struct or Values header is kept, so the garbage
+	// collector never scans the buffer and appends issue no write
+	// barriers. Chunks fill sequentially (every chunk before the active
+	// one is full) and batch appends copy column-wise; Tuple views are
+	// materialized only when a row scan asks for them.
+	memChunks []*Chunk
+	active    int // index of the chunk receiving appends
+	memN      int // in-memory row count
+	file      File
+	w         *spillWriter
+	encBuf    []byte
+	spilled   int64
+	poisoned  error
+	closed    bool
+}
+
+// spillChunkRows is the row capacity of each in-memory storage chunk.
+const spillChunkRows = 1024
+
+// memRows returns the in-memory row count.
+func (sb *SpillBuffer) memRows() int { return sb.memN }
+
+// tail returns the chunk the next append lands in, with room for at least
+// one row.
+func (sb *SpillBuffer) tail() *Chunk {
+	if len(sb.memChunks) == 0 {
+		sb.memChunks = append(sb.memChunks, NewChunk(len(sb.schema.Attributes), spillChunkRows))
+		sb.active = 0
+	}
+	c := sb.memChunks[sb.active]
+	if c.Full() {
+		sb.active++
+		if sb.active == len(sb.memChunks) {
+			sb.memChunks = append(sb.memChunks, NewChunk(len(sb.schema.Attributes), spillChunkRows))
+		}
+		c = sb.memChunks[sb.active]
+	}
+	return c
 }
 
 // NewSpillBuffer creates an empty buffer over the real filesystem with
@@ -247,7 +304,7 @@ func (sb *SpillBuffer) Schema() *Schema { return sb.schema }
 func (sb *SpillBuffer) Count() (int64, bool) { return sb.Len(), true }
 
 // Len returns the number of buffered tuples.
-func (sb *SpillBuffer) Len() int64 { return int64(len(sb.mem)) + sb.spilled }
+func (sb *SpillBuffer) Len() int64 { return int64(sb.memRows()) + sb.spilled }
 
 // SpilledTuples returns how many tuples live in the overflow path (file
 // plus the not-yet-durable write buffer).
@@ -257,7 +314,8 @@ func (sb *SpillBuffer) SpilledTuples() int64 { return sb.spilled }
 // otherwise. A poisoned buffer refuses Append but remains scannable.
 func (sb *SpillBuffer) Err() error { return sb.poisoned }
 
-// Append clones t into the buffer.
+// Append copies t into the buffer (into the arena, or the overflow path
+// once memory is exhausted).
 func (sb *SpillBuffer) Append(t Tuple) error {
 	if sb.closed {
 		return errors.New("data: append to closed spill buffer")
@@ -266,13 +324,92 @@ func (sb *SpillBuffer) Append(t Tuple) error {
 		return ErrSchemaMismatch
 	}
 	if sb.file == nil && sb.env.Budget.tryAcquire(1) {
-		sb.mem = append(sb.mem, t.Clone())
+		sb.tail().AppendTuple(t)
+		sb.memN++
 		return nil
 	}
 	return sb.spill(t)
 }
 
-func (sb *SpillBuffer) spill(t Tuple) error {
+// AppendChunkRow copies row r of ch into the buffer straight from the
+// chunk columns, without materializing an intermediate Tuple.
+func (sb *SpillBuffer) AppendChunkRow(ch *Chunk, r int) error {
+	if sb.closed {
+		return errors.New("data: append to closed spill buffer")
+	}
+	if ch.Width() != len(sb.schema.Attributes) {
+		return ErrSchemaMismatch
+	}
+	if sb.file == nil && sb.env.Budget.tryAcquire(1) {
+		sb.tail().AppendRowOf(ch, r)
+		sb.memN++
+		return nil
+	}
+	if err := sb.spillCheck(); err != nil {
+		return err
+	}
+	sb.encBuf = encodeChunkRow(sb.encBuf[:0], FormatWide, ch, r)
+	sb.spillEncoded()
+	return nil
+}
+
+// AppendChunkRows copies the chunk rows named by idx (all rows when idx is
+// nil) into the buffer. The in-memory portion is copied column-wise in
+// bulk; whatever the memory budget refuses spills row by row, split at
+// exactly the row a per-row append sequence would have spilled from.
+func (sb *SpillBuffer) AppendChunkRows(ch *Chunk, idx []int32) error {
+	if sb.closed {
+		return errors.New("data: append to closed spill buffer")
+	}
+	if ch.Width() != len(sb.schema.Attributes) {
+		return ErrSchemaMismatch
+	}
+	n := ch.Len()
+	if idx != nil {
+		n = len(idx)
+	}
+	if n == 0 {
+		return nil
+	}
+	take := 0
+	if sb.file == nil {
+		take = int(sb.env.Budget.acquireUpTo(int64(n)))
+		pos := 0
+		for pos < take {
+			t := sb.tail()
+			m := t.Cap() - t.Len()
+			if rest := take - pos; m > rest {
+				m = rest
+			}
+			if idx == nil {
+				t.AppendFrom(ch, pos, m)
+			} else {
+				t.AppendGather(ch, idx[pos:pos+m])
+			}
+			pos += m
+		}
+		sb.memN += take
+		if take == n {
+			return nil
+		}
+	}
+	for i := take; i < n; i++ {
+		r := i
+		if idx != nil {
+			r = int(idx[i])
+		}
+		if err := sb.spillCheck(); err != nil {
+			return err
+		}
+		sb.encBuf = encodeChunkRow(sb.encBuf[:0], FormatWide, ch, r)
+		sb.spillEncoded()
+	}
+	return nil
+}
+
+// spillCheck refuses appends on a poisoned buffer and lazily creates the
+// overflow file.
+func (sb *SpillBuffer) spillCheck() error {
 	if sb.poisoned != nil {
 		return &SpillError{Op: "append", Err: fmt.Errorf("%w: %w", ErrSpillPoisoned, sb.poisoned)}
 	}
@@ -301,16 +438,29 @@ func (sb *SpillBuffer) spill(t Tuple) error {
 			tupleSize: FormatWide.TupleSize(sb.schema),
 		}
 	}
+	return nil
+}
+
+func (sb *SpillBuffer) spill(t Tuple) error {
+	if err := sb.spillCheck(); err != nil {
+		return err
+	}
 	sb.encBuf = encodeTuple(sb.encBuf[:0], FormatWide, t)
+	sb.spillEncoded()
+	return nil
+}
+
+// spillEncoded hands sb.encBuf to the overflow writer. A write failure
+// does not fail the append — the tuple itself is retained (a failed flush
+// keeps the unwritten suffix buffered), so the append still succeeds
+// logically; what is lost is the ability to keep writing. The buffer is
+// poisoned so the next append fails fast instead of growing memory
+// unboundedly.
+func (sb *SpillBuffer) spillEncoded() {
 	if err := sb.w.append(sb.encBuf); err != nil {
-		// The tuple itself is retained (a failed flush keeps the unwritten
-		// suffix buffered), so this append still succeeds logically; what
-		// is lost is the ability to keep writing. Poison the buffer so the
-		// next append fails fast instead of growing memory unboundedly.
 		sb.poisoned = err
 	}
 	sb.spilled++
-	return nil
 }
 
 // Scan implements Source: iterates the in-memory part then the spilled
@@ -351,11 +501,46 @@ func (sb *SpillBuffer) Scan() (Scanner, error) {
 		}
 		fsc.alloc(len(sb.schema.Attributes))
 	}
-	return &spillScanner{mem: &memScanner{tuples: sb.mem}, file: fsc}, nil
+	return &spillScanner{mem: &spillMemScanner{sb: sb}, file: fsc}, nil
 }
 
+// spillMemScanner materializes row-major Tuple batches over the columnar
+// in-memory chunks on demand, one storage chunk per Next.
+type spillMemScanner struct {
+	sb *SpillBuffer
+	ci int
+}
+
+func (s *spillMemScanner) Next() ([]Tuple, error) {
+	for s.ci < len(s.sb.memChunks) {
+		c := s.sb.memChunks[s.ci]
+		s.ci++
+		if c.Len() == 0 {
+			continue
+		}
+		width := len(s.sb.schema.Attributes)
+		views := make([]Tuple, c.Len())
+		backing := make([]float64, c.Len()*width)
+		for a := 0; a < width; a++ {
+			for r, v := range c.Col(a) {
+				backing[r*width+a] = v
+			}
+		}
+		for r := range views {
+			views[r] = Tuple{
+				Values: backing[r*width : (r+1)*width : (r+1)*width],
+				Class:  c.Class(r),
+			}
+		}
+		return views, nil
+	}
+	return nil, io.EOF
+}
+
+func (s *spillMemScanner) Close() error { return nil }
+
 type spillScanner struct {
-	mem  *memScanner
+	mem  *spillMemScanner
 	file *fileScanner
 }
 
@@ -394,8 +579,14 @@ func (s *spillScanner) Close() error {
 // poisoned state: after a successful Reset the buffer accepts appends
 // again. If the file cannot be truncated the buffer stays poisoned.
 func (sb *SpillBuffer) Reset() error {
-	sb.env.Budget.release(int64(len(sb.mem)))
-	sb.mem = nil
+	sb.env.Budget.release(int64(sb.memRows()))
+	// The storage chunks are kept: the buffer is typically refilled to a
+	// similar size after a reset (re-scans, repeated benchmark passes),
+	// and retaining the pointer-free chunks avoids re-growing from scratch.
+	for _, c := range sb.memChunks {
+		c.Reset()
+	}
+	sb.active, sb.memN = 0, 0
 	if sb.file != nil {
 		if err := sb.file.Truncate(0); err != nil {
 			sb.poisoned = err
@@ -423,8 +614,8 @@ func (sb *SpillBuffer) Close() error {
 		return nil
 	}
 	sb.closed = true
-	sb.env.Budget.release(int64(len(sb.mem)))
-	sb.mem = nil
+	sb.env.Budget.release(int64(sb.memRows()))
+	sb.memChunks, sb.active, sb.memN = nil, 0, 0
 	if sb.file == nil {
 		return nil
 	}

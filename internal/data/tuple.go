@@ -43,10 +43,34 @@ func (t Tuple) Equal(o Tuple) bool {
 	return true
 }
 
-// Key returns a byte-exact identity key for the tuple, used by multiset
-// removal bookkeeping in TupleBag. Two tuples have equal keys iff they have
-// bit-identical values and the same class. NaNs are rejected by schema
-// validation upstream, so IEEE equality anomalies do not arise.
+// Hash64 returns a 64-bit FNV-1a hash over the tuple's value bits and
+// class. TupleBag's removal bookkeeping uses it as a bucket key (with an
+// Equal check against the bucket's entries for collisions), avoiding the
+// per-tuple string allocation a byte-exact map key would cost. NaNs are
+// rejected by schema validation upstream, so IEEE equality anomalies do
+// not arise.
+func (t Tuple) Hash64() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range t.Values {
+		b := math.Float64bits(v)
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ (b >> i & 0xff)) * prime64
+		}
+	}
+	c := uint64(t.Class)
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ (c >> i & 0xff)) * prime64
+	}
+	return h
+}
+
+// Key returns a byte-exact identity key for the tuple (used by tests for
+// multiset comparisons). Two tuples have equal keys iff they have
+// bit-identical values and the same class.
 func (t Tuple) Key() string {
 	var sb strings.Builder
 	sb.Grow(8*len(t.Values) + 8)
@@ -69,11 +93,28 @@ func (t Tuple) String() string {
 	return fmt.Sprintf("(%s | class=%d)", strings.Join(parts, ","), t.Class)
 }
 
-// CloneTuples deep-copies a slice of tuples.
+// CloneTuples deep-copies a slice of tuples. All copies share one backing
+// array (one allocation for the whole slice instead of one per row);
+// ragged inputs fall back to per-row copies for the odd-width rows.
 func CloneTuples(ts []Tuple) []Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	width := len(ts[0].Values)
 	out := make([]Tuple, len(ts))
+	backing := make([]float64, 0, len(ts)*width)
 	for i, t := range ts {
-		out[i] = t.Clone()
+		if len(t.Values) != width {
+			out[i] = t.Clone()
+			continue
+		}
+		start := len(backing)
+		if cap(backing)-start < width {
+			backing = make([]float64, 0, len(ts)*width)
+			start = 0
+		}
+		backing = append(backing, t.Values...)
+		out[i] = Tuple{Values: backing[start:len(backing):len(backing)], Class: t.Class}
 	}
 	return out
 }

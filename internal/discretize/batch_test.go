@@ -1,0 +1,157 @@
+package discretize
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistogramAddBatchEquivalence: AddBatch must equal a loop of Add on
+// random boundary sets and value streams. Values deliberately include
+// exact boundary hits (atom cells), near misses, and sorted runs (the
+// seeded-cell fast path), plus the empty-boundary histogram.
+func TestHistogramAddBatchEquivalence(t *testing.T) {
+	const classes = 3
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		// Boundary counts straddle bucketIndexMinBoundaries so both the
+		// indexed and the fallback search run; the tight cluster near 100
+		// piles many boundaries into one index bucket.
+		nb := rng.Intn(40) // 0 boundaries: single-cell histogram
+		bset := map[float64]bool{}
+		for len(bset) < nb {
+			if rng.Intn(2) == 0 {
+				bset[float64(rng.Intn(40))] = true
+			} else {
+				bset[100+float64(rng.Intn(64))/1024] = true
+			}
+		}
+		boundaries := make([]float64, 0, nb)
+		for v := range bset {
+			boundaries = append(boundaries, v)
+		}
+		sort.Float64s(boundaries)
+
+		n := 1 + rng.Intn(400)
+		col := make([]float64, n)
+		cls := make([]int32, n)
+		for i := range col {
+			switch rng.Intn(3) {
+			case 0: // exact boundary hit when possible
+				if nb > 0 {
+					col[i] = boundaries[rng.Intn(nb)]
+				} else {
+					col[i] = float64(rng.Intn(40))
+				}
+			case 1:
+				col[i] = float64(rng.Intn(40)) + 0.5
+			case 2:
+				col[i] = 100 + float64(rng.Intn(80))/1024
+			default:
+				col[i] = float64(rng.Intn(60)) - 10
+			}
+			cls[i] = int32(rng.Intn(classes))
+		}
+		if trial%3 == 0 {
+			// Sorted runs keep consecutive values in one cell, which is
+			// what the previous-cell seed optimizes for.
+			sort.Float64s(col)
+		}
+		var idx []int32
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				idx = append(idx, int32(i))
+			}
+		}
+
+		batch := NewHistogram(boundaries, classes)
+		loop := NewHistogram(boundaries, classes)
+		batch.AddBatch(col, cls, nil)
+		for r, v := range col {
+			loop.Add(v, int(cls[r]), 1)
+		}
+		requireSameHistogram(t, fmt.Sprintf("trial %d all-rows", trial), batch, loop)
+
+		batch = NewHistogram(boundaries, classes)
+		loop = NewHistogram(boundaries, classes)
+		batch.AddBatch(col, cls, idx)
+		for _, r := range idx {
+			loop.Add(col[r], int(cls[r]), 1)
+		}
+		requireSameHistogram(t, fmt.Sprintf("trial %d subset", trial), batch, loop)
+	}
+}
+
+func requireSameHistogram(t *testing.T, label string, a, b *Histogram) {
+	t.Helper()
+	for c := range a.Counts {
+		for j := range a.Counts[c] {
+			if a.Counts[c][j] != b.Counts[c][j] {
+				t.Fatalf("%s: cell %d class %d: %d want %d", label, c, j, a.Counts[c][j], b.Counts[c][j])
+			}
+		}
+	}
+}
+
+// TestCellOfMatchesManualSearch pins the inlined binary search to the
+// sort.SearchFloat64s-based CellOf across boundary hits and misses.
+func TestCellOfMatchesManualSearch(t *testing.T) {
+	h := NewHistogram([]float64{1, 3, 7, 7.5}, 2)
+	for v := -2.0; v <= 10; v += 0.25 {
+		if got, want := cellOf(h.Boundaries, v), h.CellOf(v); got != want {
+			t.Fatalf("cellOf(%v) = %d, CellOf = %d", v, got, want)
+		}
+	}
+	empty := NewHistogram(nil, 2)
+	if got := cellOf(empty.Boundaries, 5); got != empty.CellOf(5) {
+		t.Fatalf("empty boundaries: cellOf = %d, CellOf = %d", got, empty.CellOf(5))
+	}
+}
+
+func BenchmarkHistogramBatch(b *testing.B) {
+	const n, classes = 4096, 4
+	boundaries := make([]float64, 64)
+	for i := range boundaries {
+		boundaries[i] = float64(i * 3)
+	}
+	rng := rand.New(rand.NewSource(1))
+	col := make([]float64, n)
+	cls := make([]int32, n)
+	for i := range col {
+		col[i] = float64(rng.Intn(200))
+		cls[i] = int32(rng.Intn(classes))
+	}
+	b.Run("loop", func(b *testing.B) {
+		h := NewHistogram(boundaries, classes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for r, v := range col {
+				h.Add(v, int(cls[r]), 1)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		h := NewHistogram(boundaries, classes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.AddBatch(col, cls, nil)
+		}
+	})
+
+	// The cleanup scan's reality: few boundaries, continuous values —
+	// every per-row comparison against a boundary is an unpredictable
+	// branch unless the kernel is branch-free.
+	fb := []float64{38000, 62000, 95000, 123000}
+	fcol := make([]float64, n)
+	for i := range fcol {
+		fcol[i] = 20000 + 130000*rng.Float64()
+	}
+	b.Run("batch-continuous", func(b *testing.B) {
+		h := NewHistogram(fb, classes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.AddBatch(fcol, cls, nil)
+		}
+	})
+}

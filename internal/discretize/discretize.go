@@ -210,6 +210,84 @@ func InsertBoundaries(boundaries []float64, extra ...float64) []float64 {
 type Histogram struct {
 	Boundaries []float64
 	Counts     [][]int64
+
+	// flat is the contiguous backing of Counts (stride = class count);
+	// AddBatch addresses it directly, saving the outer-slice indirection.
+	flat    []int64
+	classes int
+
+	// bidx is the lazily-built bucket index that AddBatch uses to replace
+	// the per-row binary search with an O(1) table lookup. Boundaries are
+	// immutable after construction, so the index never needs invalidating;
+	// it is built on the first AddBatch, amortizing its cost across the
+	// batches of a scan (the per-row Add path never pays for it).
+	bidx *bucketIndex
+}
+
+// bucketIndex accelerates boundary searches: values are mapped to one of
+// nb uniform buckets spanning [min, max]. A bucket holding at most one
+// boundary resolves a value with two comparisons against bval[k] — no
+// loop, no data-dependent branch, which matters because scan values are
+// continuous and any per-row branch on them is a coin flip the branch
+// predictor loses. base[k] is the cell of a value below every boundary
+// in bucket k (2 × the count of boundaries in earlier buckets); the two
+// comparisons add the >=-boundary and >-boundary steps. Empty buckets
+// carry bval = +Inf (both comparisons false); the rare bucket holding
+// two or more boundaries carries bval = NaN and base = -1, which the
+// kernel detects (cell < 0) and resolves with the binary search. Nil
+// slices mean the boundary set is degenerate and everything falls back
+// to the seeded binary search.
+type bucketIndex struct {
+	min, scale float64
+	bval       []float64
+	base       []int32
+}
+
+func buildBucketIndex(b []float64) *bucketIndex {
+	if len(b) == 0 {
+		return &bucketIndex{}
+	}
+	min, max := b[0], b[len(b)-1]
+	nb := 8 * len(b)
+	scale := float64(nb) / (max - min)
+	if max <= min || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		return &bucketIndex{}
+	}
+	// Boundaries are bucketed with the same float arithmetic the lookups
+	// use, so the per-bucket resolution is exact by the monotonicity of
+	// bucketOf even under rounding.
+	bval := make([]float64, nb)
+	base := make([]int32, nb)
+	i := 0
+	for k := 0; k < nb; k++ {
+		for i < len(b) && bucketOf(b[i], min, scale, nb) < k {
+			i++
+		}
+		base[k] = int32(2 * i)
+		switch {
+		case i >= len(b) || bucketOf(b[i], min, scale, nb) > k:
+			bval[k] = math.Inf(1) // empty bucket
+		case i+1 < len(b) && bucketOf(b[i+1], min, scale, nb) == k:
+			bval[k] = math.NaN() // crowded bucket
+			base[k] = -1
+		default:
+			bval[k] = b[i]
+		}
+	}
+	return &bucketIndex{min: min, scale: scale, bval: bval, base: base}
+}
+
+// bucketOf maps v to its bucket in [0, nb). It is monotone non-decreasing
+// in v, which is all the index's correctness relies on.
+func bucketOf(v, min, scale float64, nb int) int {
+	k := int((v - min) * scale)
+	if k < 0 {
+		return 0
+	}
+	if k >= nb {
+		return nb - 1
+	}
+	return k
 }
 
 // NewHistogram allocates a zeroed histogram over the boundaries
@@ -221,7 +299,7 @@ func NewHistogram(boundaries []float64, classCount int) *Histogram {
 	for i := range counts {
 		counts[i] = backing[i*classCount : (i+1)*classCount]
 	}
-	return &Histogram{Boundaries: boundaries, Counts: counts}
+	return &Histogram{Boundaries: boundaries, Counts: counts, flat: backing, classes: classCount}
 }
 
 // CellOf returns the cell index of value v.
@@ -265,6 +343,169 @@ func (h *Histogram) CellUpperEdge(cell int) float64 {
 // Add registers w occurrences of (v, class).
 func (h *Histogram) Add(v float64, class int, w int64) {
 	h.Counts[h.CellOf(v)][class] += w
+}
+
+// AddBatch registers one occurrence of (col[r], classes[r]) for every row
+// r in idx, or for every row of col when idx is nil. It is exactly
+// equivalent to calling Add(col[r], int(classes[r]), 1) per row; the
+// batched form replaces the per-row binary search with a bucket-index
+// lookup built once per histogram, addresses the contiguous count backing
+// directly, and special-cases the zero- and one-boundary histograms of
+// deep nodes. Degenerate boundary sets the index cannot cover fall back
+// to a binary search seeded with the previous row's cell.
+func (h *Histogram) AddBatch(col []float64, classes []int32, idx []int32) {
+	b := h.Boundaries
+	if flat, nc := h.flat, h.classes; flat != nil {
+		switch len(b) {
+		case 0: // single cell: every row lands in cell 0
+			if idx == nil {
+				for r := range col {
+					flat[classes[r]]++
+				}
+				return
+			}
+			for _, r := range idx {
+				flat[classes[r]]++
+			}
+			return
+		case 1: // three cells: two compares beat any search
+			b0 := b[0]
+			if idx == nil {
+				for r, v := range col {
+					cell := 0
+					if v == b0 {
+						cell = 1
+					} else if v > b0 {
+						cell = 2
+					}
+					flat[cell*nc+int(classes[r])]++
+				}
+				return
+			}
+			for _, r := range idx {
+				v := col[r]
+				cell := 0
+				if v == b0 {
+					cell = 1
+				} else if v > b0 {
+					cell = 2
+				}
+				flat[cell*nc+int(classes[r])]++
+			}
+			return
+		}
+		if h.bidx == nil {
+			h.bidx = buildBucketIndex(b)
+		}
+		if bval := h.bidx.bval; len(bval) > 0 {
+			// The branch-free row kernel: clamps compile to conditional
+			// moves, the two boundary comparisons to flag materializations.
+			// The only data-dependent branch left is the crowded-bucket
+			// fallback, which almost never fires.
+			min, scale := h.bidx.min, h.bidx.scale
+			base := h.bidx.base[:len(bval)]
+			last := len(bval) - 1
+			if idx == nil {
+				classes := classes[:len(col)]
+				for r, v := range col {
+					k := int((v - min) * scale)
+					if k < 0 {
+						k = 0
+					}
+					if k > last {
+						k = last
+					}
+					bv := bval[k]
+					cell := int(base[k])
+					if v >= bv {
+						cell++
+					}
+					if v > bv {
+						cell++
+					}
+					if cell < 0 { // crowded bucket: NaN bval, base -1
+						cell = cellOf(b, v)
+					}
+					flat[cell*nc+int(classes[r])]++
+				}
+				return
+			}
+			for _, r := range idx {
+				v := col[r]
+				k := int((v - min) * scale)
+				if k < 0 {
+					k = 0
+				}
+				if k > last {
+					k = last
+				}
+				bv := bval[k]
+				cell := int(base[k])
+				if v >= bv {
+					cell++
+				}
+				if v > bv {
+					cell++
+				}
+				if cell < 0 {
+					cell = cellOf(b, v)
+				}
+				flat[cell*nc+int(classes[r])]++
+			}
+			return
+		}
+	}
+	counts := h.Counts
+	cell := -1
+	if idx == nil {
+		for r, v := range col {
+			if cell < 0 || !cellContains(b, cell, v) {
+				cell = cellOf(b, v)
+			}
+			counts[cell][classes[r]]++
+		}
+		return
+	}
+	for _, r := range idx {
+		v := col[r]
+		if cell < 0 || !cellContains(b, cell, v) {
+			cell = cellOf(b, v)
+		}
+		counts[cell][classes[r]]++
+	}
+}
+
+// cellContains reports whether v falls in cell over boundaries b — the
+// seed test that lets AddBatch skip the binary search for runs of values
+// landing in one cell.
+func cellContains(b []float64, cell int, v float64) bool {
+	if cell&1 == 1 {
+		return v == b[cell/2] // atom
+	}
+	i := cell / 2 // interior (b[i-1], b[i]), unbounded at the ends
+	if i > 0 && v <= b[i-1] {
+		return false
+	}
+	return i >= len(b) || v < b[i]
+}
+
+// cellOf computes CellOf with the binary search inlined; the search is
+// identical to sort.SearchFloat64s (smallest i with b[i] >= v), so the
+// result matches CellOf bit for bit.
+func cellOf(b []float64, v float64) int {
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(b) && b[lo] == v {
+		return 2*lo + 1 // atom
+	}
+	return 2 * lo // interior
 }
 
 // NumCells returns the cell count.

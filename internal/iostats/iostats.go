@@ -30,6 +30,13 @@ type Stats struct {
 	spillErrors   atomic.Int64
 	scanFallbacks atomic.Int64
 	scanRetries   atomic.Int64
+
+	// Heap-allocation accounting (runtime.MemStats deltas recorded by the
+	// benchmark harnesses around a measured region). Divided by TuplesRead
+	// they yield allocs/tuple and bytes/tuple, the steady-state-allocation
+	// metric of the columnar scan path.
+	allocObjects atomic.Int64
+	allocBytes   atomic.Int64
 }
 
 // RecordScan notes the start of one sequential scan over a tracked source.
@@ -87,6 +94,15 @@ func (s *Stats) RecordScanRetry() {
 	}
 }
 
+// RecordAllocs notes heap allocations (object and byte counts) attributed
+// to a measured region.
+func (s *Stats) RecordAllocs(objects, bytes int64) {
+	if s != nil {
+		s.allocObjects.Add(objects)
+		s.allocBytes.Add(bytes)
+	}
+}
+
 // Scans returns the number of scans started.
 func (s *Stats) Scans() int64 { return s.scans.Load() }
 
@@ -114,6 +130,12 @@ func (s *Stats) ScanFallbacks() int64 { return s.scanFallbacks.Load() }
 // ScanRetries returns the cleanup scans restarted after storage faults.
 func (s *Stats) ScanRetries() int64 { return s.scanRetries.Load() }
 
+// AllocObjects returns the recorded heap allocation count.
+func (s *Stats) AllocObjects() int64 { return s.allocObjects.Load() }
+
+// AllocBytes returns the recorded heap allocation bytes.
+func (s *Stats) AllocBytes() int64 { return s.allocBytes.Load() }
+
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
 	s.scans.Store(0)
@@ -125,6 +147,8 @@ func (s *Stats) Reset() {
 	s.spillErrors.Store(0)
 	s.scanFallbacks.Store(0)
 	s.scanRetries.Store(0)
+	s.allocObjects.Store(0)
+	s.allocBytes.Store(0)
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -139,6 +163,27 @@ type Snapshot struct {
 	SpillErrors   int64
 	ScanFallbacks int64
 	ScanRetries   int64
+
+	AllocObjects int64
+	AllocBytes   int64
+}
+
+// AllocsPerTuple returns AllocObjects divided by TuplesRead (0 when no
+// tuples were read).
+func (s Snapshot) AllocsPerTuple() float64 {
+	if s.TuplesRead == 0 {
+		return 0
+	}
+	return float64(s.AllocObjects) / float64(s.TuplesRead)
+}
+
+// AllocBytesPerTuple returns AllocBytes divided by TuplesRead (0 when no
+// tuples were read).
+func (s Snapshot) AllocBytesPerTuple() float64 {
+	if s.TuplesRead == 0 {
+		return 0
+	}
+	return float64(s.AllocBytes) / float64(s.TuplesRead)
 }
 
 // Snapshot copies the current counter values.
@@ -156,6 +201,8 @@ func (s *Stats) Snapshot() Snapshot {
 		SpillErrors:   s.SpillErrors(),
 		ScanFallbacks: s.ScanFallbacks(),
 		ScanRetries:   s.ScanRetries(),
+		AllocObjects:  s.AllocObjects(),
+		AllocBytes:    s.AllocBytes(),
 	}
 }
 
@@ -171,6 +218,8 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		SpillErrors:   a.SpillErrors - b.SpillErrors,
 		ScanFallbacks: a.ScanFallbacks - b.ScanFallbacks,
 		ScanRetries:   a.ScanRetries - b.ScanRetries,
+		AllocObjects:  a.AllocObjects - b.AllocObjects,
+		AllocBytes:    a.AllocBytes - b.AllocBytes,
 	}
 }
 
@@ -182,6 +231,10 @@ func (s Snapshot) String() string {
 	if s.SpillRetries != 0 || s.SpillErrors != 0 || s.ScanFallbacks != 0 || s.ScanRetries != 0 {
 		out += fmt.Sprintf(" spillRetries=%d spillErrors=%d scanFallbacks=%d scanRetries=%d",
 			s.SpillRetries, s.SpillErrors, s.ScanFallbacks, s.ScanRetries)
+	}
+	if s.AllocObjects != 0 || s.AllocBytes != 0 {
+		out += fmt.Sprintf(" allocs/tuple=%.3f allocBytes/tuple=%.1f",
+			s.AllocsPerTuple(), s.AllocBytesPerTuple())
 	}
 	return out
 }
@@ -218,6 +271,38 @@ func (t *trackedSource) Scan() (data.Scanner, error) {
 	t.stats.RecordScan()
 	return &trackedScanner{inner: sc, stats: t.stats, tupleBytes: t.tupleBytes}, nil
 }
+
+// ScanChunks implements data.ChunkedSource so tracked sources keep the
+// native columnar scan path of the wrapped source: the chunked scan is
+// resolved against the inner source (falling back to the row adapter only
+// if the inner source has no native path) and reads are recorded per
+// chunk.
+func (t *trackedSource) ScanChunks() (data.ChunkScanner, error) {
+	sc, err := data.ScanChunks(t.inner)
+	if err != nil {
+		return nil, err
+	}
+	t.stats.RecordScan()
+	return &trackedChunkScanner{inner: sc, stats: t.stats, tupleBytes: t.tupleBytes}, nil
+}
+
+type trackedChunkScanner struct {
+	inner      data.ChunkScanner
+	stats      *Stats
+	tupleBytes int64
+}
+
+func (t *trackedChunkScanner) NextChunk(dst *data.Chunk) error {
+	before := dst.Len()
+	err := t.inner.NextChunk(dst)
+	if err == nil {
+		n := int64(dst.Len() - before)
+		t.stats.RecordRead(n, n*t.tupleBytes)
+	}
+	return err
+}
+
+func (t *trackedChunkScanner) Close() error { return t.inner.Close() }
 
 type trackedScanner struct {
 	inner      data.Scanner

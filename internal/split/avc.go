@@ -21,9 +21,15 @@ type NumericAVC struct {
 func (a *NumericAVC) Entries() int { return len(a.Values) }
 
 // CatAVC is the AVC-set of one categorical attribute: Counts[c][j] is the
-// number of tuples with category code c and class j.
+// number of tuples with category code c and class j. flat is the
+// contiguous backing of Counts (flat[c*classes+j] == Counts[c][j]),
+// addressed directly by AddBatch to skip the per-row double
+// indirection.
 type CatAVC struct {
 	Counts [][]int64
+
+	flat    []int64
+	classes int
 }
 
 // Entries returns the domain cardinality.
@@ -36,12 +42,42 @@ func NewCatAVC(cardinality, classCount int) *CatAVC {
 	for c := range counts {
 		counts[c] = backing[c*classCount : (c+1)*classCount]
 	}
-	return &CatAVC{Counts: counts}
+	return &CatAVC{Counts: counts, flat: backing, classes: classCount}
 }
 
 // Add registers w occurrences of (code, class); w may be negative for
 // deletions in the dynamic environment.
 func (a *CatAVC) Add(code, class int, w int64) { a.Counts[code][class] += w }
+
+// AddBatch registers one occurrence of (col[r], classes[r]) for every row
+// r in idx, or for every row of col when idx is nil. It is exactly
+// equivalent to calling Add(int(col[r]), int(classes[r]), 1) per row; the
+// batched form keeps the count matrix hot across a whole columnar chunk.
+func (a *CatAVC) AddBatch(col []float64, classes []int32, idx []int32) {
+	if flat, nc := a.flat, a.classes; flat != nil {
+		if idx == nil {
+			cls := classes[:len(col)]
+			for r, v := range col {
+				flat[int(v)*nc+int(cls[r])]++
+			}
+			return
+		}
+		for _, r := range idx {
+			flat[int(col[r])*nc+int(classes[r])]++
+		}
+		return
+	}
+	counts := a.Counts
+	if idx == nil {
+		for r, v := range col {
+			counts[int(v)][classes[r]]++
+		}
+		return
+	}
+	for _, r := range idx {
+		counts[int(col[r])][classes[r]]++
+	}
+}
 
 // Merge adds o's counts into a. The two AVC-sets must cover the same
 // domain; used to combine per-worker shards of a partitioned scan.

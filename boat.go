@@ -43,6 +43,7 @@ package boat
 
 import (
 	"io"
+	"log/slog"
 	"math/rand"
 
 	"github.com/boatml/boat/internal/core"
@@ -51,6 +52,7 @@ import (
 	"github.com/boatml/boat/internal/gen"
 	"github.com/boatml/boat/internal/inmem"
 	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/prune"
 	"github.com/boatml/boat/internal/rainforest"
 	"github.com/boatml/boat/internal/split"
@@ -236,6 +238,34 @@ type (
 	// IOSnapshot is an immutable copy of the counters.
 	IOSnapshot = iostats.Snapshot
 )
+
+// Observability (see DESIGN.md §12). Options.Trace records the build
+// lifecycle as a span tree, Options.Metrics collects build counters, and
+// Options.Logger receives structured log records. All three are optional;
+// when nil every instrumentation point is a no-op.
+type (
+	// Tracer records builds and updates as hierarchical spans with
+	// wall-clock and I/O-delta accounting; export with WriteChromeTrace.
+	Tracer = obs.Tracer
+	// Span is one traced phase of a build.
+	Span = obs.Span
+	// MetricsRegistry holds named counters, gauges and histograms updated
+	// during builds; export with WriteJSON or Publish (expvar).
+	MetricsRegistry = obs.Registry
+	// LogConfig configures NewLogger (text or JSON, leveled).
+	LogConfig = obs.LogConfig
+)
+
+// NewTracer creates a build tracer. Pass the same stats the build uses
+// (Options.Stats) so spans report I/O deltas; nil disables I/O deltas.
+func NewTracer(stats *IOStats) *Tracer { return obs.NewTracer(stats) }
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewLogger builds the structured logger the commands use (text or JSON
+// on w, filtered by cfg.Level); pass it as Options.Logger.
+func NewLogger(w io.Writer, cfg LogConfig) (*slog.Logger, error) { return obs.NewLogger(w, cfg) }
 
 // Synthetic workloads (the Agrawal et al. generator of the evaluation).
 type (

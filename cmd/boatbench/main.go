@@ -22,8 +22,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
@@ -33,6 +35,7 @@ import (
 	"github.com/boatml/boat/internal/experiments"
 	"github.com/boatml/boat/internal/gen"
 	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/split"
 )
 
@@ -96,12 +99,21 @@ func main() {
 		benchTuples = flag.Int64("benchtuples", 200_000, "dataset size for -benchjson")
 		benchRounds = flag.Int("benchrounds", 3, "scan passes per mode for -benchjson")
 
+		metricsJSON = flag.String("metricsjson", "", `write the accumulated BOAT metrics registry as JSON to this file ("-" = stdout)`)
+		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
+		logLevel    = flag.String("loglevel", "info", "log level: debug | info | warn | error")
+
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceprofile = flag.String("traceprofile", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, obs.LogConfig{JSON: *logJSON, Level: *logLevel})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boatbench: %v\n", err)
+		os.Exit(2)
+	}
 	stopProfiles, err := startProfiles(*cpuprofile, *traceprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "boatbench: %v\n", err)
@@ -110,9 +122,10 @@ func main() {
 	code := run(mainConfig{
 		experiment: *experiment, unit: *unit, maxUnits: *maxUnits,
 		files: *files, dir: *dir, seed: *seed, method: *method,
-		para: *para, verbose: *verbose,
+		para: *para, verbose: *verbose, logger: logger,
 		faults: *faults, faultBuilds: *faultBuilds, faultSeed: *faultSeed,
 		benchJSON: *benchJSON, benchTuples: *benchTuples, benchRounds: *benchRounds,
+		metricsJSON: *metricsJSON,
 	})
 	stopProfiles()
 	if err := writeMemProfile(*memprofile); err != nil {
@@ -189,6 +202,7 @@ type mainConfig struct {
 	method     string
 	para       int
 	verbose    bool
+	logger     *slog.Logger
 
 	faults      bool
 	faultBuilds int
@@ -197,6 +211,8 @@ type mainConfig struct {
 	benchJSON   string
 	benchTuples int64
 	benchRounds int
+
+	metricsJSON string
 }
 
 func run(mc mainConfig) int {
@@ -213,17 +229,28 @@ func run(mc mainConfig) int {
 		return 2
 	}
 
+	var metrics *obs.Registry
+	if mc.metricsJSON != "" {
+		metrics = obs.NewRegistry()
+	}
+
 	if mc.benchJSON != "" {
-		return runScanBench(mc, m)
+		code := runScanBench(mc, m, metrics)
+		if code == 0 {
+			code = dumpMetrics(metrics, mc.metricsJSON)
+		}
+		return code
 	}
 
 	cfg := experiments.Config{
 		Unit: mc.unit, MaxUnits: mc.maxUnits, UseFiles: mc.files,
 		Dir: mc.dir, Seed: mc.seed, Method: m, Parallelism: mc.para,
+		Metrics: metrics,
 	}
 	if mc.verbose {
-		cfg.Log = os.Stderr
+		cfg.Logger = mc.logger
 	}
+	defer func() { dumpMetrics(metrics, mc.metricsJSON) }()
 
 	if mc.faults {
 		fmt.Printf("=== fault soak: %d builds with injected transient storage faults ===\n", mc.faultBuilds)
@@ -290,14 +317,76 @@ func run(mc mainConfig) int {
 	return 0
 }
 
+// dumpMetrics writes the registry as JSON to path ("" = disabled, "-" =
+// stdout), returning a process exit code.
+func dumpMetrics(metrics *obs.Registry, path string) int {
+	if !metrics.Enabled() || path == "" {
+		return 0
+	}
+	if path == "-" {
+		if err := metrics.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "boatbench: metricsjson: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = metrics.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boatbench: metricsjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// benchProvenance pins down what produced a -benchjson report: the
+// machine-independent run configuration, the toolchain, and the source
+// revision (from the binary's embedded VCS stamp, when built from a git
+// checkout).
+type benchProvenance struct {
+	Parallelism   int    `json:"parallelism"`
+	ScanChunkRows int    `json:"scan_chunk_rows"`
+	Method        string `json:"method"`
+	Seed          int64  `json:"seed"`
+	GoVersion     string `json:"go_version"`
+	GitSHA        string `json:"git_sha,omitempty"`
+	GitModified   bool   `json:"git_modified,omitempty"`
+}
+
+// gitRevision extracts the vcs.revision/vcs.modified stamps the Go
+// linker embeds when the binary is built inside a git checkout.
+func gitRevision() (sha string, modified bool) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			sha = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	return sha, modified
+}
+
 // scanBenchReport is the JSON document -benchjson writes: one measurement
-// per scan mode plus the chunk-vs-row headline ratios.
+// per scan mode plus the chunk-vs-row headline ratios, the run's
+// provenance, and the iostats accounting of every pass.
 type scanBenchReport struct {
 	Workload      string                 `json:"workload"`
 	Tuples        int64                  `json:"tuples"`
 	Rounds        int                    `json:"rounds"`
 	GOMAXPROCS    int                    `json:"gomaxprocs"`
+	Config        benchProvenance        `json:"config"`
 	Modes         []core.ScanMeasurement `json:"modes"`
+	IOStats       iostats.Snapshot       `json:"iostats"`
 	ChunkSpeedup  float64                `json:"chunk_speedup_vs_row"`
 	AllocsRatio   float64                `json:"row_allocs_per_chunk_alloc"`
 	ChunkPerTuple float64                `json:"chunk_allocs_per_tuple"`
@@ -308,7 +397,7 @@ type scanBenchReport struct {
 // workload, prints a table with the iostats accounting, and writes the
 // measurements as JSON. The generator output is materialized up front so
 // the benchmark isolates the scan itself.
-func runScanBench(mc mainConfig, m split.Method) int {
+func runScanBench(mc mainConfig, m split.Method, metrics *obs.Registry) int {
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "boatbench: benchjson: %v\n", err)
 		return 1
@@ -323,16 +412,28 @@ func runScanBench(mc mainConfig, m split.Method) int {
 	}
 	src := data.NewMemSource(gsrc.Schema(), tuples)
 
+	sha, modified := gitRevision()
 	rep := scanBenchReport{
 		Workload: "fig4-f1", Tuples: n, Rounds: mc.benchRounds,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config: benchProvenance{
+			Parallelism:   mc.para,
+			ScanChunkRows: data.DefaultChunkRows,
+			Method:        m.Name(),
+			Seed:          mc.seed,
+			GoVersion:     runtime.Version(),
+			GitSHA:        sha,
+			GitModified:   modified,
+		},
 	}
+	var total iostats.Snapshot
 	byMode := map[core.ScanMode]core.ScanMeasurement{}
 	for _, mode := range []core.ScanMode{core.ScanModeRow, core.ScanModeChunk, core.ScanModeSharded} {
 		stats := &iostats.Stats{}
 		bench, err := core.NewScanBench(src, core.Config{
 			Method: m, MaxDepth: 6, MinSplit: 50, SampleSize: 2000,
 			Seed: 7, TempDir: mc.dir, Parallelism: mc.para, Stats: stats,
+			Metrics: metrics, Logger: mc.logger,
 		})
 		if err != nil {
 			return fail(err)
@@ -349,7 +450,9 @@ func runScanBench(mc mainConfig, m split.Method) int {
 		if mc.verbose {
 			fmt.Printf("         iostats: %s\n", stats.Snapshot())
 		}
+		total = total.Add(stats.Snapshot())
 	}
+	rep.IOStats = total
 	row, chunk := byMode[core.ScanModeRow], byMode[core.ScanModeChunk]
 	if row.TuplesPerSec > 0 {
 		rep.ChunkSpeedup = chunk.TuplesPerSec / row.TuplesPerSec

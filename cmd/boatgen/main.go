@@ -17,6 +17,7 @@ import (
 
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,15 @@ func main() {
 		instability = flag.Bool("instability", false, "generate the two-minima instability dataset of Figure 12")
 		seed        = flag.Int64("seed", 1, "generator seed")
 		wide        = flag.Bool("wide", false, "use the float64 record format instead of the 4-byte compact format")
+		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
+		logLevel    = flag.String("loglevel", "info", "log level: debug | info | warn | error")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, obs.LogConfig{JSON: *logJSON, Level: *logLevel})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boatgen: %v\n", err)
+		os.Exit(1)
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "boatgen: -o is required")
 		flag.Usage()
@@ -69,6 +77,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "boatgen: verifying output: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d tuples (%d bytes payload, %d bytes/tuple) to %s\n",
-		written, fs.SizeBytes(), format.TupleSize(fs.Schema()), *out)
+	logger.Info("dataset written", "path", *out, "tuples", written,
+		"payload_bytes", fs.SizeBytes(), "bytes_per_tuple", format.TupleSize(fs.Schema()))
 }

@@ -2,17 +2,24 @@
 // BOAT (or, for comparison, RainForest or the in-memory reference), prints
 // the tree and the construction cost profile, and can persist the tree.
 //
+// Observability: -trace writes the build lifecycle as Chrome trace-event
+// JSON (load it in chrome://tracing or Perfetto), -metricsjson dumps the
+// build metrics registry, and -logjson/-loglevel control the structured
+// log stream on stderr.
+//
 // Usage:
 //
 //	boattrain -input train.boat
 //	boattrain -input train.boat -algo rf-hybrid -threshold 1500000
 //	boattrain -input train.boat -method quest -save model.tree
 //	boattrain -input train.boat -update chunk.boat
+//	boattrain -input train.boat -trace trace.json -metricsjson metrics.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -20,6 +27,7 @@ import (
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/inmem"
 	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/rainforest"
 	"github.com/boatml/boat/internal/split"
 	"github.com/boatml/boat/internal/tree"
@@ -27,25 +35,32 @@ import (
 
 func main() {
 	var (
-		input     = flag.String("input", "", "training dataset file (binary .boat, or .csv with -csv)")
-		csvMode   = flag.Bool("csv", false, "treat -input as a CSV file (schema inferred; last column = class, override with -classcol)")
-		csvHeader = flag.Bool("header", true, "CSV: first row is a header")
-		classCol  = flag.Int("classcol", 0, "CSV: 1-based class column (0 = last)")
-		algo      = flag.String("algo", "boat", "algorithm: boat | rf-hybrid | rf-vertical | inmem")
-		method    = flag.String("method", "gini", "split selection: gini | entropy | quest")
-		maxDepth  = flag.Int("maxdepth", 0, "depth limit (0 = unlimited)")
-		minSplit  = flag.Int64("minsplit", 2, "minimum family size to split")
-		threshold = flag.Int64("threshold", 0, "in-memory switch threshold (tuples; 0 = none)")
-		stop      = flag.Bool("stop", false, "stop growth at the threshold instead of finishing in memory")
-		sample    = flag.Int("sample", 0, "BOAT sample size (0 = auto)")
-		seed      = flag.Int64("seed", 1, "sampling seed")
-		avcBuffer = flag.Int64("avcbuffer", 3_000_000, "RainForest AVC buffer entries")
-		save      = flag.String("save", "", "write the encoded tree to this file")
-		saveModel = flag.String("savemodel", "", "write the full BOAT model (tree + statistics) to this file atomically (boat only)")
-		update    = flag.String("update", "", "after building, insert this chunk file incrementally (boat only)")
-		quiet     = flag.Bool("quiet", false, "do not print the tree itself")
+		input       = flag.String("input", "", "training dataset file (binary .boat, or .csv with -csv)")
+		csvMode     = flag.Bool("csv", false, "treat -input as a CSV file (schema inferred; last column = class, override with -classcol)")
+		csvHeader   = flag.Bool("header", true, "CSV: first row is a header")
+		classCol    = flag.Int("classcol", 0, "CSV: 1-based class column (0 = last)")
+		algo        = flag.String("algo", "boat", "algorithm: boat | rf-hybrid | rf-vertical | inmem")
+		method      = flag.String("method", "gini", "split selection: gini | entropy | quest")
+		maxDepth    = flag.Int("maxdepth", 0, "depth limit (0 = unlimited)")
+		minSplit    = flag.Int64("minsplit", 2, "minimum family size to split")
+		threshold   = flag.Int64("threshold", 0, "in-memory switch threshold (tuples; 0 = none)")
+		stop        = flag.Bool("stop", false, "stop growth at the threshold instead of finishing in memory")
+		sample      = flag.Int("sample", 0, "BOAT sample size (0 = auto)")
+		seed        = flag.Int64("seed", 1, "sampling seed")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for the parallel build phases (0 = GOMAXPROCS)")
+		avcBuffer   = flag.Int64("avcbuffer", 3_000_000, "RainForest AVC buffer entries")
+		save        = flag.String("save", "", "write the encoded tree to this file")
+		saveModel   = flag.String("savemodel", "", "write the full BOAT model (tree + statistics) to this file atomically (boat only)")
+		update      = flag.String("update", "", "after building, insert this chunk file incrementally (boat only)")
+		quiet       = flag.Bool("quiet", false, "do not print the tree itself")
+		traceOut    = flag.String("trace", "", "write the build lifecycle as Chrome trace-event JSON to this file (boat only)")
+		metricsOut  = flag.String("metricsjson", "", `write the build metrics registry as JSON to this file ("-" = stdout; boat only)`)
+		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
+		logLevel    = flag.String("loglevel", "info", "log level: debug | info | warn | error")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, obs.LogConfig{JSON: *logJSON, Level: *logLevel})
+	fatal(err)
 	if *input == "" {
 		fmt.Fprintln(os.Stderr, "boattrain: -input is required")
 		flag.Usage()
@@ -56,8 +71,8 @@ func main() {
 	if *csvMode {
 		ds, err := data.ReadCSVFile(*input, data.CSVOptions{HasHeader: *csvHeader, ClassColumn: *classCol})
 		fatal(err)
-		fmt.Printf("csv: %d tuples, %d attributes, classes %v\n",
-			len(ds.Tuples), ds.Schema.NumAttrs(), ds.ClassNames)
+		logger.Info("csv loaded", "tuples", len(ds.Tuples),
+			"attributes", ds.Schema.NumAttrs(), "classes", len(ds.ClassNames))
 		src = ds.Source()
 	} else {
 		fs, err := data.OpenFile(*input)
@@ -75,6 +90,15 @@ func main() {
 	}
 
 	var st iostats.Stats
+	var tracer *obs.Tracer
+	var metrics *obs.Registry
+	if *traceOut != "" {
+		tracer = obs.NewTracer(&st)
+	}
+	if *metricsOut != "" {
+		metrics = obs.NewRegistry()
+	}
+
 	var tr *tree.Tree
 	start := time.Now()
 	switch *algo {
@@ -82,30 +106,35 @@ func main() {
 		bt, err := core.Build(src, core.Config{
 			Method: m, MaxDepth: *maxDepth, MinSplit: *minSplit,
 			StopThreshold: *threshold, StopAtThreshold: *stop,
-			SampleSize: *sample, Seed: *seed, Stats: &st,
+			SampleSize: *sample, Seed: *seed, Parallelism: *parallelism,
+			Stats: &st, Trace: tracer, Metrics: metrics, Logger: logger,
 		})
 		fatal(err)
 		defer bt.Close()
-		built := time.Since(start)
 		bs := bt.BuildStats()
-		fmt.Printf("BOAT build: %.2fs | sample=%d coarse=%d disagreements=%d failures=%d stuck=%d frontier-rebuilds=%d\n",
-			built.Seconds(), bs.SampleSize, bs.CoarseNodes, bs.Disagreements,
-			bs.FailedNodes, bs.StuckTuples, bs.FrontierRebuilds)
-		fmt.Printf("  failure breakdown: no-candidate=%d better-cat=%d bound=%d tie=%d moment=%d\n",
-			bs.FailNoCandidate, bs.FailBetterCat, bs.FailBound, bs.FailTie, bs.FailMoment)
+		logger.Info("BOAT build finished", "seconds", time.Since(start).Seconds(),
+			"sample", bs.SampleSize, "coarse_nodes", bs.CoarseNodes,
+			"disagreements", bs.Disagreements, "failed_nodes", bs.FailedNodes,
+			"stuck_tuples", bs.StuckTuples, "frontier_rebuilds", bs.FrontierRebuilds)
+		if bs.FailedNodes > 0 {
+			logger.Info("verification failure breakdown",
+				"no_candidate", bs.FailNoCandidate, "better_cat", bs.FailBetterCat,
+				"bound", bs.FailBound, "tie", bs.FailTie, "moment", bs.FailMoment)
+		}
 		if *update != "" {
 			chunk, err := data.OpenFile(*update)
 			fatal(err)
 			ustart := time.Now()
 			upd, err := bt.Insert(chunk)
 			fatal(err)
-			fmt.Printf("incremental insert: %.2fs | tuples=%d rebuilt-subtrees=%d migrated=%d refitted-leaves=%d\n",
-				time.Since(ustart).Seconds(), upd.TuplesSeen, upd.RebuiltSubtrees,
-				upd.MigratedTuples, upd.RefittedLeaves)
+			logger.Info("incremental insert finished",
+				"seconds", time.Since(ustart).Seconds(), "tuples", upd.TuplesSeen,
+				"rebuilt_subtrees", upd.RebuiltSubtrees, "migrated", upd.MigratedTuples,
+				"refitted_leaves", upd.RefittedLeaves)
 		}
 		if *saveModel != "" {
 			fatal(bt.SaveFile(*saveModel))
-			fmt.Printf("saved model to %s\n", *saveModel)
+			logger.Info("model saved", "path", *saveModel)
 		}
 		tr = bt.Tree()
 	case "rf-hybrid", "rf-vertical":
@@ -116,23 +145,24 @@ func main() {
 			Stats:            &st,
 		})
 		fatal(err)
-		fmt.Printf("%s build: %.2fs | scans=%d levels=%d peak-avc=%d\n",
-			*algo, time.Since(start).Seconds(), bs.Scans, bs.Levels, bs.PeakAVCEntries)
+		logger.Info("RainForest build finished", "algo", *algo,
+			"seconds", time.Since(start).Seconds(), "scans", bs.Scans,
+			"levels", bs.Levels, "peak_avc", bs.PeakAVCEntries)
 		tr = t2
 	case "inmem":
 		tuples, err := data.ReadAll(iostats.Tracked(src, &st))
 		fatal(err)
 		tr = inmem.Build(src.Schema(), tuples, grow)
-		fmt.Printf("in-memory build: %.2fs\n", time.Since(start).Seconds())
+		logger.Info("in-memory build finished", "seconds", time.Since(start).Seconds())
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 
-	fmt.Printf("io: %s\n", st.Snapshot())
-	fmt.Printf("tree: %d nodes, %d leaves, depth %d\n", tr.NumNodes(), tr.NumLeaves(), tr.Depth())
+	logger.Info("io totals", "stats", st.Snapshot().String())
+	logger.Info("tree summary", "nodes", tr.NumNodes(), "leaves", tr.NumLeaves(), "depth", tr.Depth())
 	rate, err := tr.MisclassificationRate(src)
 	fatal(err)
-	fmt.Printf("training misclassification rate: %.4f\n", rate)
+	logger.Info("training misclassification rate", "rate", rate)
 	if !*quiet {
 		fmt.Print(tr)
 	}
@@ -140,7 +170,31 @@ func main() {
 		raw, err := tree.EncodeTree(tr)
 		fatal(err)
 		fatal(os.WriteFile(*save, raw, 0o644))
-		fmt.Printf("saved tree (%d bytes) to %s\n", len(raw), *save)
+		logger.Info("tree saved", "path", *save, "bytes", len(raw))
+	}
+	writeObservability(logger, tracer, *traceOut, metrics, *metricsOut)
+}
+
+// writeObservability flushes the trace and metrics dumps requested by
+// -trace and -metricsjson.
+func writeObservability(logger *slog.Logger, tracer *obs.Tracer, traceOut string, metrics *obs.Registry, metricsOut string) {
+	if tracer.Enabled() && traceOut != "" {
+		f, err := os.Create(traceOut)
+		fatal(err)
+		fatal(tracer.WriteChromeTrace(f))
+		fatal(f.Close())
+		logger.Info("trace written", "path", traceOut)
+	}
+	if metrics.Enabled() && metricsOut != "" {
+		if metricsOut == "-" {
+			fatal(metrics.WriteJSON(os.Stdout))
+			return
+		}
+		f, err := os.Create(metricsOut)
+		fatal(err)
+		fatal(metrics.WriteJSON(f))
+		fatal(f.Close())
+		logger.Info("metrics written", "path", metricsOut)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/tree"
 )
 
@@ -44,6 +45,9 @@ type Config struct {
 	// the in-memory sample is embarrassingly parallel: the population is
 	// only read, and each tree owns its RNG and bootstrap sample.
 	Parallelism int
+	// Span, when non-nil, is the enclosing trace span; BuildCoarse records
+	// the tree-growth and intersection phases as child spans under it.
+	Span *obs.Span
 }
 
 // Node is one node of the coarse tree. Leaves of the coarse tree are
@@ -102,6 +106,9 @@ func BuildCoarse(schema *data.Schema, sample []data.Tuple, cfg Config) (*Node, S
 	if sub <= 0 {
 		sub = len(sample)
 	}
+	growSpan := cfg.Span.Start("bootstrap-trees")
+	growSpan.SetAttr("trees", cfg.Trees)
+	growSpan.SetAttr("subsample", sub)
 	roots := make([]*tree.Node, cfg.Trees)
 	grow := func(i int) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
@@ -130,7 +137,11 @@ func BuildCoarse(schema *data.Schema, sample []data.Tuple, cfg Config) (*Node, S
 			grow(i)
 		}
 	}
+	growSpan.End()
+	intSpan := cfg.Span.Start("intersect")
 	root := intersect(schema, roots, cfg.WidenFraction, &st)
+	intSpan.SetAttr("coarse_nodes", st.CoarseNodes)
+	intSpan.End()
 	return root, st, nil
 }
 

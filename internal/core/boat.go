@@ -2,13 +2,16 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/boatml/boat/internal/bootstrap"
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/inmem"
 	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/split"
 	"github.com/boatml/boat/internal/tree"
 )
@@ -44,6 +47,12 @@ type Tree struct {
 	// output tree does not depend on the drawn values (BOAT's exactness
 	// guarantee), only run traces do.
 	seedCounter atomic.Int64
+
+	// met caches the metrics-registry instruments (all nil, hence no-op,
+	// when cfg.Metrics is nil) and log is the resolved structured logger
+	// (never nil; discards when cfg.Logger is nil).
+	met metricSet
+	log *slog.Logger
 }
 
 // mutateStats applies a counter mutation under the stats lock; upd is nil
@@ -63,6 +72,7 @@ func (t *Tree) spillEnv(budget *data.MemBudget) data.SpillEnv {
 		Rec:    t.cfg.Stats,
 		FS:     t.cfg.FS,
 		Retry:  t.cfg.SpillRetry,
+		Log:    t.cfg.Logger,
 	}
 }
 
@@ -73,6 +83,10 @@ func (t *Tree) spillEnv(budget *data.MemBudget) data.SpillEnv {
 // scan one draws the sample D' for the sampling phase; scan two is the
 // cleanup scan that streams every tuple down the coarse tree.
 func Build(src data.Source, cfg Config) (*Tree, error) {
+	buildSpan := cfg.Trace.Start("build")
+	defer buildSpan.End()
+	start := time.Now()
+
 	n, err := data.CountTuples(src) // known without scanning for all built-in sources
 	if err != nil {
 		return nil, err
@@ -81,6 +95,9 @@ func Build(src data.Source, cfg Config) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	buildSpan.SetAttr("tuples", n)
+	buildSpan.SetAttr("parallelism", cfg.workers())
+	buildSpan.SetAttr("chunk_rows", cfg.chunkRows())
 	budget := cfg.Budget
 	if budget == nil {
 		budget = data.NewMemBudget(cfg.MemBudgetTuples)
@@ -89,27 +106,40 @@ func Build(src data.Source, cfg Config) (*Tree, error) {
 		cfg:    cfg,
 		schema: src.Schema(),
 		budget: budget,
+		met:    newMetricSet(cfg.Metrics),
+		log:    resolveLogger(cfg.Logger),
 	}
 	t.impurityBased, _ = cfg.Method.(split.ImpurityBased)
 	t.momentBased, _ = cfg.Method.(split.MomentBased)
 	if t.impurityBased == nil && t.momentBased == nil {
 		return nil, fmt.Errorf("core: unsupported method %q", cfg.Method.Name())
 	}
+	t.log.Debug("build started", "tuples", n, "sample_size", cfg.SampleSize,
+		"parallelism", cfg.workers(), "method", cfg.Method.Name())
 
 	tracked := iostats.Tracked(src, cfg.Stats)
 	rng := cfg.newRNG()
 
 	// Sampling phase (scan 1): sample D', bootstrap, coarse criteria.
+	sampleSpan := buildSpan.Start("sampling")
 	sample, err := data.ReservoirSample(tracked, cfg.SampleSize, rng)
+	sampleSpan.SetAttr("sample_size", len(sample))
+	sampleSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: sampling phase: %w", err)
 	}
 	t.buildStats.SampleSize = len(sample)
-	root, err := t.buildFromSample(tracked, sample, n, 0, 0)
+	root, err := t.buildFromSample(tracked, sample, n, 0, 0, buildSpan)
 	if err != nil {
+		t.log.Error("build failed", "err", err)
 		return nil, err
 	}
 	t.root = root
+	bs := t.BuildStats()
+	t.log.Info("build finished", "seconds", time.Since(start).Seconds(),
+		"tuples", bs.TuplesSeen, "coarse_nodes", bs.CoarseNodes,
+		"failed_nodes", bs.FailedNodes, "stuck_tuples", bs.StuckTuples,
+		"frontier_rebuilds", bs.FrontierRebuilds)
 	return t, nil
 }
 
@@ -117,8 +147,10 @@ func Build(src data.Source, cfg Config) (*Tree, error) {
 // sample), the cleanup scan over src, and top-down processing, returning
 // the resulting subtree rooted at the given depth. It is shared by Build
 // and by recursive rebuild invocations; rdepth is the BOAT-in-BOAT
-// recursion depth of this invocation.
-func (t *Tree) buildFromSample(src data.Source, sample []data.Tuple, n int64, depth, rdepth int) (*bnode, error) {
+// recursion depth of this invocation, and parent the enclosing trace
+// span (the build root, or a rebuild span).
+func (t *Tree) buildFromSample(src data.Source, sample []data.Tuple, n int64, depth, rdepth int, parent *obs.Span) (*bnode, error) {
+	bootSpan := parent.Start("bootstrap")
 	bcfg := bootstrap.Config{
 		Trees:         t.cfg.BootstrapTrees,
 		SubsampleSize: t.cfg.SubsampleSize,
@@ -126,35 +158,55 @@ func (t *Tree) buildFromSample(src data.Source, sample []data.Tuple, n int64, de
 		TreeConfig:    t.bootstrapGrowConfig(n),
 		Seed:          t.cfg.Seed + 104729*t.seedCounter.Add(1),
 		Parallelism:   t.cfg.workers(),
+		Span:          bootSpan,
 	}
 	coarse, bstats, err := bootstrap.BuildCoarse(t.schema, sample, bcfg)
+	bootSpan.SetAttr("coarse_nodes", bstats.CoarseNodes)
+	bootSpan.SetAttr("disagreements", bstats.Disagreements)
+	bootSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: bootstrap: %w", err)
 	}
+	t.met.coarseNodes.Add(int64(bstats.CoarseNodes))
+	t.met.disagreements.Add(int64(bstats.Disagreements))
 	t.mutateStats(func(b *BuildStats, _ *UpdateStats) {
 		b.CoarseNodes += bstats.CoarseNodes
 		b.Disagreements += bstats.Disagreements
 	})
 
+	skelSpan := parent.Start("skeleton")
 	root := t.skeletonFromCoarse(coarse, sample, depth)
+	skelSpan.End()
 
 	// Cleanup scan (scan 2): stream every tuple down the coarse tree,
 	// sharded across workers when Parallelism > 1 (see scan.go). On any
 	// error the skeleton's buffers (and their temp files) are released
 	// before returning, so a failed build never leaks.
-	seen, err := t.cleanupScan(src, root)
+	scanSpan := parent.Start("cleanup-scan")
+	seen, err := t.cleanupScan(src, root, scanSpan)
+	scanSpan.SetAttr("tuples", seen)
 	if err != nil {
+		scanSpan.End()
 		closeSubtree(root)
 		return nil, fmt.Errorf("core: cleanup scan: %w", err)
 	}
 	stuck := countStuck(root)
+	scanSpan.SetAttr("stuck", stuck)
+	scanSpan.End()
+	t.met.scanTuples.Add(seen)
+	t.met.stuckTuples.Add(stuck)
+	t.observeStuckSets(root)
+	t.log.Debug("cleanup scan finished", "tuples", seen, "stuck", stuck, "rdepth", rdepth)
 	t.mutateStats(func(b *BuildStats, _ *UpdateStats) {
 		b.TuplesSeen += seen
 		b.StuckTuples += stuck
 	})
 
 	// Top-down processing: exact splits, verification, completion.
-	if err := t.process(root, rdepth); err != nil {
+	procSpan := parent.Start("process")
+	err = t.process(root, rdepth, procSpan)
+	procSpan.End()
+	if err != nil {
 		closeSubtree(root)
 		return nil, fmt.Errorf("core: processing: %w", err)
 	}

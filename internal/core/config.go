@@ -10,12 +10,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/inmem"
 	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/split"
 )
 
@@ -91,6 +93,22 @@ type Config struct {
 	// Stats, when non-nil, receives scan/tuple/byte accounting for the
 	// primary training database and all spills.
 	Stats *iostats.Stats
+
+	// Trace, when non-nil, receives hierarchical build-lifecycle spans —
+	// sampling, bootstrap-tree growth, coarse-tree intersection, the
+	// cleanup scan and its shard workers, verification, subtree rebuilds,
+	// leaf completion — with per-span wall-clock and (when Stats is also
+	// set and shared with the tracer) iostats deltas. nil disables tracing
+	// at zero cost: every span call is a nil-receiver no-op.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives build counters, gauges and
+	// histograms (CI hit/miss per verified node, verification-failure
+	// causes, stuck-set sizes, per-shard scan throughput, rebuild and
+	// leaf-completion counts). nil disables metrics at zero cost.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives structured build progress records
+	// (log/slog). nil discards them.
+	Logger *slog.Logger
 
 	// MaxRebuildRecursion bounds how deeply BOAT may invoke itself on the
 	// gathered family of a failed or frontier node before falling back to

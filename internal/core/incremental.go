@@ -49,21 +49,35 @@ func (t *Tree) update(chunk data.Source, w int64) (UpdateStats, error) {
 		t.statsMu.Unlock()
 	}()
 
+	name := "insert"
+	if w < 0 {
+		name = "delete"
+	}
+	updSpan := t.cfg.Trace.Start(name)
+	defer updSpan.End()
+
 	tracked := iostats.Tracked(chunk, t.cfg.Stats)
+	routeSpan := updSpan.Start("route-chunk")
 	err := data.ForEach(tracked, func(tp data.Tuple) error {
 		upd.TuplesSeen++
 		return t.route(t.root, tp, w)
 	})
+	routeSpan.SetAttr("tuples", upd.TuplesSeen)
+	routeSpan.End()
 	if err != nil {
 		return *upd, fmt.Errorf("core: streaming update chunk: %w", err)
 	}
-	if err := t.process(t.root, 0); err != nil {
+	if err := t.process(t.root, 0, updSpan); err != nil {
 		return *upd, fmt.Errorf("core: post-update processing: %w", err)
 	}
+	t.log.Info("update finished", "op", name, "tuples", upd.TuplesSeen,
+		"rebuilt_subtrees", upd.RebuiltSubtrees, "migrated_tuples", upd.MigratedTuples,
+		"refitted_leaves", upd.RefittedLeaves)
 	return *upd, nil
 }
 
 func (t *Tree) noteRebuildTuples(n int64) {
+	t.met.rebuildTuples.Add(n)
 	t.mutateStats(func(b *BuildStats, upd *UpdateStats) {
 		if upd == nil {
 			b.RebuildTuples += n

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"log/slog"
+
+	"github.com/boatml/boat/internal/obs"
+)
+
+// metricSet caches the registry instruments the build updates, resolved
+// once per Tree instead of one registry lookup (a mutex acquisition) per
+// verified node. Every field is nil when no registry is configured, so
+// updates degrade to nil-receiver no-ops.
+type metricSet struct {
+	// Verification: one hit or miss per verified coarse node, plus the
+	// per-cause failure breakdown mirroring BuildStats.FailXxx.
+	ciHit, ciMiss                                                  *obs.Counter
+	failNoCandidate, failBetterCat, failBound, failTie, failMoment *obs.Counter
+
+	// Cleanup scan.
+	scanTuples   *obs.Counter
+	stuckTuples  *obs.Counter
+	stuckPerNode *obs.Histogram
+
+	// Rebuilds and leaf completion.
+	rebuildSubtrees, rebuildTuples, spillRebuilds *obs.Counter
+	frontierRebuilds                              *obs.Counter
+	leavesInMemory, leavesRefitted                *obs.Counter
+	migratedTuples                                *obs.Counter
+
+	// Sampling phase.
+	coarseNodes, disagreements *obs.Counter
+}
+
+func newMetricSet(r *obs.Registry) metricSet {
+	if !r.Enabled() {
+		return metricSet{}
+	}
+	return metricSet{
+		ciHit:            r.Counter("verify.ci.hit"),
+		ciMiss:           r.Counter("verify.ci.miss"),
+		failNoCandidate:  r.Counter("verify.fail.no_candidate"),
+		failBetterCat:    r.Counter("verify.fail.better_cat"),
+		failBound:        r.Counter("verify.fail.bound"),
+		failTie:          r.Counter("verify.fail.tie"),
+		failMoment:       r.Counter("verify.fail.moment"),
+		scanTuples:       r.Counter("scan.tuples"),
+		stuckTuples:      r.Counter("scan.stuck.tuples"),
+		stuckPerNode:     r.Histogram("scan.stuck.per_node"),
+		rebuildSubtrees:  r.Counter("rebuild.subtrees"),
+		rebuildTuples:    r.Counter("rebuild.tuples"),
+		spillRebuilds:    r.Counter("rebuild.spill"),
+		frontierRebuilds: r.Counter("rebuild.frontier"),
+		leavesInMemory:   r.Counter("leaf.inmemory"),
+		leavesRefitted:   r.Counter("leaf.refitted"),
+		migratedTuples:   r.Counter("update.migrated_tuples"),
+		coarseNodes:      r.Counter("bootstrap.coarse_nodes"),
+		disagreements:    r.Counter("bootstrap.disagreements"),
+	}
+}
+
+// recordShardThroughput publishes one cleanup-scan shard's tuple count
+// and throughput. The sequential scan reports as shard 0 of 1, so the
+// metric names exist at every Parallelism setting.
+func (t *Tree) recordShardThroughput(shard int, tuples int64, seconds float64) {
+	r := t.cfg.Metrics
+	if !r.Enabled() {
+		return
+	}
+	r.Counter(fmt.Sprintf("scan.shard.%d.tuples", shard)).Add(tuples)
+	if seconds > 0 {
+		r.Gauge(fmt.Sprintf("scan.shard.%d.tuples_per_sec", shard)).Set(float64(tuples) / seconds)
+	}
+}
+
+// observeStuckSets feeds the per-node stuck-set size histogram after a
+// cleanup scan (skipped entirely when metrics are disabled).
+func (t *Tree) observeStuckSets(n *bnode) {
+	if t.met.stuckPerNode == nil {
+		return
+	}
+	var walk func(*bnode)
+	walk = func(n *bnode) {
+		if n == nil || n.isLeaf() {
+			return
+		}
+		if n.pending != nil {
+			t.met.stuckPerNode.Observe(n.pending.Len())
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(n)
+}
+
+// resolveLogger returns the configured logger, or a discard logger, so
+// call sites never branch on nil.
+func resolveLogger(l *slog.Logger) *slog.Logger {
+	if l != nil {
+		return l
+	}
+	return obs.NopLogger()
+}

@@ -70,6 +70,8 @@ func Load(r io.Reader, schema *data.Schema, cfg Config) (*Tree, error) {
 		cfg:    cfg,
 		schema: schema,
 		budget: budget,
+		met:    newMetricSet(cfg.Metrics),
+		log:    resolveLogger(cfg.Logger),
 	}
 	t.impurityBased, _ = cfg.Method.(split.ImpurityBased)
 	t.momentBased, _ = cfg.Method.(split.MomentBased)

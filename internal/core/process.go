@@ -9,6 +9,7 @@ import (
 	"github.com/boatml/boat/internal/discretize"
 	"github.com/boatml/boat/internal/hull"
 	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/split"
 )
 
@@ -25,16 +26,24 @@ import (
 // completion: leaves are collected in left-to-right order and finished
 // afterwards by completeLeaves — concurrently when Parallelism > 1, since
 // each leaf's in-memory fit or frontier rebuild touches only that leaf's
-// family. rdepth is the BOAT-in-BOAT recursion depth of this pass.
-func (t *Tree) process(n *bnode, rdepth int) error {
+// family. rdepth is the BOAT-in-BOAT recursion depth of this pass, and sp
+// the enclosing trace span (the build "process" span, or an update span).
+func (t *Tree) process(n *bnode, rdepth int, sp *obs.Span) error {
 	var leaves []*bnode
-	if err := t.processInternal(n, rdepth, &leaves); err != nil {
+	verSpan := sp.Start("verification")
+	err := t.processInternal(n, rdepth, &leaves, verSpan)
+	verSpan.End()
+	if err != nil {
 		return err
 	}
-	return t.completeLeaves(leaves, rdepth)
+	leafSpan := sp.Start("leaf-completion")
+	leafSpan.SetAttr("leaves", len(leaves))
+	err = t.completeLeaves(leaves, rdepth, leafSpan)
+	leafSpan.End()
+	return err
 }
 
-func (t *Tree) processInternal(n *bnode, rdepth int, leaves *[]*bnode) error {
+func (t *Tree) processInternal(n *bnode, rdepth int, leaves *[]*bnode, sp *obs.Span) error {
 	if n.isLeaf() {
 		*leaves = append(*leaves, n)
 		return nil
@@ -51,9 +60,11 @@ func (t *Tree) processInternal(n *bnode, rdepth int, leaves *[]*bnode) error {
 	}
 	chosen, ok := t.verify(n)
 	if !ok {
+		t.met.ciMiss.Inc()
 		t.noteFailure()
-		return t.rebuildFromSubtree(n, rdepth)
+		return t.rebuildFromSubtree(n, rdepth, sp)
 	}
+	t.met.ciHit.Inc()
 	if n.coarse.kind == data.Numeric {
 		if n.pushed.Len() > 0 && n.routedThr != chosen.Threshold {
 			if err := t.migrate(n, n.routedThr, chosen.Threshold); err != nil {
@@ -86,7 +97,7 @@ func (t *Tree) processInternal(n *bnode, rdepth int, leaves *[]*bnode) error {
 					// still present in exactly one gatherable buffer (after
 					// cancelling dups), so rebuilding the subtree from the
 					// gathered family recovers exactly.
-					return t.rebuildAfterSpillFault(n, dups, rdepth)
+					return t.rebuildAfterSpillFault(n, dups, rdepth, sp)
 				}
 				return fmt.Errorf("core: pushing stuck tuples: %w", err)
 			}
@@ -102,10 +113,10 @@ func (t *Tree) processInternal(n *bnode, rdepth int, leaves *[]*bnode) error {
 		n.routedThr = chosen.Threshold
 	}
 	n.crit = chosen
-	if err := t.processInternal(n.left, rdepth, leaves); err != nil {
+	if err := t.processInternal(n.left, rdepth, leaves, sp); err != nil {
 		return err
 	}
-	return t.processInternal(n.right, rdepth, leaves)
+	return t.processInternal(n.right, rdepth, leaves, sp)
 }
 
 // completeLeaves finishes the collected leaves. Each dirty leaf's work —
@@ -115,7 +126,7 @@ func (t *Tree) processInternal(n *bnode, rdepth int, leaves *[]*bnode) error {
 // pool. Shared state reached from processLeaf (the memory budget, the
 // I/O stats, the build/update counters, the rebuild seed counter) is
 // thread-safe; the resulting tree is identical either way.
-func (t *Tree) completeLeaves(leaves []*bnode, rdepth int) error {
+func (t *Tree) completeLeaves(leaves []*bnode, rdepth int, sp *obs.Span) error {
 	dirty := leaves[:0:0]
 	for _, n := range leaves {
 		if n.dirty {
@@ -125,15 +136,15 @@ func (t *Tree) completeLeaves(leaves []*bnode, rdepth int) error {
 	w := min(t.cfg.workers(), len(dirty))
 	if w <= 1 {
 		for _, n := range dirty {
-			if err := t.processLeaf(n, rdepth); err != nil {
+			if err := t.processLeaf(n, rdepth, sp); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	var (
-		wg      sync.WaitGroup
-		errOnce sync.Once
+		wg       sync.WaitGroup
+		errOnce  sync.Once
 		firstErr error
 	)
 	next := make(chan *bnode)
@@ -142,7 +153,7 @@ func (t *Tree) completeLeaves(leaves []*bnode, rdepth int) error {
 		go func() {
 			defer wg.Done()
 			for n := range next {
-				if err := t.processLeaf(n, rdepth); err != nil {
+				if err := t.processLeaf(n, rdepth, sp); err != nil {
 					errOnce.Do(func() { firstErr = err })
 				}
 			}
@@ -185,6 +196,7 @@ func (t *Tree) migrate(n *bnode, old, new float64) error {
 	if err != nil {
 		return fmt.Errorf("core: migrating stuck tuples: %w", err)
 	}
+	t.met.migratedTuples.Add(moved)
 	t.mutateStats(func(_ *BuildStats, upd *UpdateStats) {
 		if upd != nil {
 			upd.MigratedTuples += moved
@@ -205,6 +217,7 @@ func (t *Tree) verify(n *bnode) (split.Split, bool) {
 }
 
 func (t *Tree) noteMomentFailure() {
+	t.met.failMoment.Inc()
 	t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailMoment++ })
 }
 
@@ -273,12 +286,14 @@ func (t *Tree) verifyImpurity(n *bnode) (split.Split, bool) {
 		bestIv := split.BestNumericSplitInInterval(crit, c.attr, n.lowCounts,
 			n.eqLow > 0, c.lo, avc, n.classCounts)
 		if !bestIv.Found {
+			t.met.failNoCandidate.Inc()
 			t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailNoCandidate++ })
 			return split.Split{}, false
 		}
 		if bestCat.Better(bestIv) {
 			// A categorical attribute beats the coarse attribute: the
 			// coarse splitting attribute is wrong.
+			t.met.failBetterCat.Inc()
 			t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailBetterCat++ })
 			return split.Split{}, false
 		}
@@ -286,10 +301,12 @@ func (t *Tree) verifyImpurity(n *bnode) (split.Split, bool) {
 	} else {
 		exact := split.BestCategoricalSplit(crit, c.attr, n.catCounts[c.attr], n.classCounts)
 		if !exact.Found || exact.Subset != c.subset {
+			t.met.failBetterCat.Inc()
 			t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailBetterCat++ })
 			return split.Split{}, false
 		}
 		if bestCat.Better(exact) {
+			t.met.failBetterCat.Inc()
 			t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailBetterCat++ })
 			return split.Split{}, false
 		}
@@ -333,6 +350,7 @@ func (t *Tree) verifyImpurity(n *bnode) (split.Split, bool) {
 				tieValue = loEdge
 			}
 			if lb < iPrime {
+				t.met.failBound.Inc()
 				t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailBound++ })
 				return split.Split{}, false
 			}
@@ -342,6 +360,7 @@ func (t *Tree) verifyImpurity(n *bnode) (split.Split, bool) {
 				// interior cells).
 				if i < chosen.Attr ||
 					(i == chosen.Attr && chosen.Kind == data.Numeric && tieValue < chosen.Threshold) {
+					t.met.failTie.Inc()
 					t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.FailTie++ })
 					return split.Split{}, false
 				}
@@ -411,7 +430,7 @@ func (t *Tree) stuckAVC(n *bnode) (*split.NumericAVC, error) {
 // left as leaves (StopAtThreshold, the paper's performance-experiment
 // methodology) or completed with the main-memory algorithm. May run
 // concurrently for distinct leaves (see completeLeaves).
-func (t *Tree) processLeaf(n *bnode, rdepth int) error {
+func (t *Tree) processLeaf(n *bnode, rdepth int, sp *obs.Span) error {
 	if !n.dirty {
 		return nil
 	}
@@ -421,6 +440,8 @@ func (t *Tree) processLeaf(n *bnode, rdepth int) error {
 		fam := n.family
 		n.family = nil
 		attempt := total
+		t.met.frontierRebuilds.Inc()
+		t.log.Debug("promoting frontier leaf", "tuples", total, "depth", n.depth, "rdepth", rdepth)
 		t.mutateStats(func(b *BuildStats, upd *UpdateStats) {
 			if upd == nil {
 				b.FrontierRebuilds++
@@ -428,7 +449,11 @@ func (t *Tree) processLeaf(n *bnode, rdepth int) error {
 				upd.RebuiltSubtrees++
 			}
 		})
-		if err := t.finishNodeFromFamily(n, fam, rdepth); err != nil {
+		rbSpan := sp.Start("rebuild")
+		rbSpan.SetAttr("tuples", total)
+		err := t.finishNodeFromFamily(n, fam, rdepth, rbSpan)
+		rbSpan.End()
+		if err != nil {
 			return err
 		}
 		if n.isLeaf() {
@@ -456,8 +481,10 @@ func (t *Tree) processLeaf(n *bnode, rdepth int) error {
 	t.mutateStats(func(b *BuildStats, upd *UpdateStats) {
 		if upd == nil {
 			b.InMemoryLeaves++
+			t.met.leavesInMemory.Inc()
 		} else {
 			upd.RefittedLeaves++
+			t.met.leavesRefitted.Inc()
 		}
 	})
 	if n.family.PendingRemovals() > 0 && n.family.PendingRemovals()*2 > n.family.Len() {

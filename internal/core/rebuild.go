@@ -6,6 +6,7 @@ import (
 
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/inmem"
+	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/split"
 )
 
@@ -15,9 +16,10 @@ import (
 // the subtree — the not-yet-pushed stuck sets and the stored leaf
 // families — which is the "additional scan over subsets of the data" the
 // paper refers to; no scan of the original training database is needed.
-// rdepth is the BOAT-in-BOAT recursion depth of the enclosing pass.
-func (t *Tree) rebuildFromSubtree(n *bnode, rdepth int) error {
-	return t.rebuildWithDups(n, nil, rdepth)
+// rdepth is the BOAT-in-BOAT recursion depth of the enclosing pass, and
+// sp the enclosing trace span.
+func (t *Tree) rebuildFromSubtree(n *bnode, rdepth int, sp *obs.Span) error {
+	return t.rebuildWithDups(n, nil, rdepth, sp)
 }
 
 // rebuildAfterSpillFault rebuilds the subtree at n after a storage fault
@@ -25,12 +27,16 @@ func (t *Tree) rebuildFromSubtree(n *bnode, rdepth int) error {
 // scannable even when poisoned, so the family can still be gathered; dups
 // lists tuples the fault left present twice (routed into a deeper buffer
 // but still in the pending set), and one occurrence of each is cancelled.
-func (t *Tree) rebuildAfterSpillFault(n *bnode, dups []data.Tuple, rdepth int) error {
+func (t *Tree) rebuildAfterSpillFault(n *bnode, dups []data.Tuple, rdepth int, sp *obs.Span) error {
+	t.met.spillRebuilds.Inc()
+	t.log.Warn("storage fault on spill path; rebuilding subtree", "depth", n.depth, "rdepth", rdepth)
 	t.mutateStats(func(b *BuildStats, _ *UpdateStats) { b.SpillRebuilds++ })
-	return t.rebuildWithDups(n, dups, rdepth)
+	return t.rebuildWithDups(n, dups, rdepth, sp)
 }
 
-func (t *Tree) rebuildWithDups(n *bnode, dups []data.Tuple, rdepth int) error {
+func (t *Tree) rebuildWithDups(n *bnode, dups []data.Tuple, rdepth int, sp *obs.Span) error {
+	rbSpan := sp.Start("rebuild")
+	defer rbSpan.End()
 	fam := data.NewTupleBagEnv(t.schema, t.spillEnv(t.budget))
 	if err := gatherFamily(n, fam); err != nil {
 		fam.Close()
@@ -42,12 +48,15 @@ func (t *Tree) rebuildWithDups(n *bnode, dups []data.Tuple, rdepth int) error {
 			return err
 		}
 	}
+	rbSpan.SetAttr("tuples", fam.Len())
+	t.met.rebuildSubtrees.Inc()
+	t.log.Debug("rebuilding subtree", "tuples", fam.Len(), "depth", n.depth, "rdepth", rdepth)
 	t.noteRebuildTuples(fam.Len())
 	counts := make([]int64, len(n.classCounts))
 	copy(counts, n.classCounts)
 	releaseNodeState(n)
 	n.classCounts = counts
-	return t.finishNodeFromFamily(n, fam, rdepth)
+	return t.finishNodeFromFamily(n, fam, rdepth, rbSpan)
 }
 
 // demoteToLeaf converts an internal node into a leaf because the reference
@@ -127,8 +136,9 @@ func releaseNodeState(n *bnode) {
 // a recursive BOAT invocation over the buffered family (bounded by
 // MaxRebuildRecursion, threaded through as rdepth so that concurrent
 // rebuilds of distinct nodes track their own depth); everything else
-// becomes a stored-family leaf, completed in memory.
-func (t *Tree) finishNodeFromFamily(n *bnode, fam *data.TupleBag, rdepth int) error {
+// becomes a stored-family leaf, completed in memory. sp is the enclosing
+// trace span: a recursive BOAT invocation records its phases under it.
+func (t *Tree) finishNodeFromFamily(n *bnode, fam *data.TupleBag, rdepth int, sp *obs.Span) error {
 	total := fam.Len()
 	if t.cfg.StopThreshold > 0 && total > t.cfg.StopThreshold &&
 		rdepth < t.cfg.MaxRebuildRecursion {
@@ -136,7 +146,7 @@ func (t *Tree) finishNodeFromFamily(n *bnode, fam *data.TupleBag, rdepth int) er
 		sample, err := data.ReservoirSample(fam.Source(), t.cfg.SampleSize, rng)
 		if err == nil {
 			var sub *bnode
-			sub, err = t.buildFromSample(fam.Source(), sample, total, n.depth, rdepth+1)
+			sub, err = t.buildFromSample(fam.Source(), sample, total, n.depth, rdepth+1, sp)
 			if err == nil {
 				fam.Close()
 				*n = *sub
@@ -176,8 +186,10 @@ func (t *Tree) finishNodeFromFamily(n *bnode, fam *data.TupleBag, rdepth int) er
 	t.mutateStats(func(b *BuildStats, upd *UpdateStats) {
 		if upd == nil {
 			b.InMemoryLeaves++
+			t.met.leavesInMemory.Inc()
 		} else {
 			upd.RefittedLeaves++
+			t.met.leavesRefitted.Inc()
 		}
 	})
 	return nil

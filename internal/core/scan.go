@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/discretize"
+	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/split"
 )
 
@@ -46,8 +48,8 @@ import (
 // so zero-and-rerun reproduces precisely the state a fault-free scan
 // would have built. Logical errors (bad data, schema mismatch) are never
 // retried.
-func (t *Tree) cleanupScan(src data.Source, root *bnode) (int64, error) {
-	seen, err := t.runCleanupScan(src, root)
+func (t *Tree) cleanupScan(src data.Source, root *bnode, sp *obs.Span) (int64, error) {
+	seen, err := t.runCleanupScan(src, root, sp)
 	if err == nil {
 		deriveRoutingCounts(root)
 	}
@@ -57,10 +59,12 @@ func (t *Tree) cleanupScan(src data.Source, root *bnode) (int64, error) {
 // runCleanupScan executes the scan passes (sharded with sequential
 // fallback, or sequential with one retry) without the post-scan count
 // derivation, which cleanupScan applies exactly once on success.
-func (t *Tree) runCleanupScan(src data.Source, root *bnode) (int64, error) {
+func (t *Tree) runCleanupScan(src data.Source, root *bnode, sp *obs.Span) (int64, error) {
 	if w := t.cfg.workers(); w > 1 {
 		// Tiny known-size inputs skip sharding: the overhead cannot pay off.
 		if n, ok := src.Count(); !ok || n >= int64(2*t.cfg.chunkRows()) {
+			sp.SetAttr("mode", "sharded")
+			sp.SetAttr("workers", w)
 			seen, err := t.shardedScan(src, root, w)
 			if err == nil || !data.IsSpillError(err) {
 				return seen, err
@@ -71,14 +75,21 @@ func (t *Tree) runCleanupScan(src data.Source, root *bnode) (int64, error) {
 			// so both cases are handled uniformly: zero every scan
 			// statistic and fall back to the sequential path.
 			t.cfg.Stats.RecordScanFallback()
+			t.log.Warn("sharded cleanup scan hit a storage fault; falling back to sequential", "err", err)
+			sp.SetAttr("fallback", "sequential")
 			if rerr := resetScanState(root); rerr != nil {
 				return seen, fmt.Errorf("core: resetting after failed sharded scan: %w", rerr)
 			}
 		}
 	}
+	if w := t.cfg.workers(); w <= 1 {
+		sp.SetAttr("mode", "sequential")
+	}
 	seen, err := t.sequentialScan(src, root)
 	if err != nil && data.IsSpillError(err) {
 		t.cfg.Stats.RecordScanRetry()
+		t.log.Warn("sequential cleanup scan hit a storage fault; retrying once", "err", err)
+		sp.SetAttr("retried", true)
 		if rerr := resetScanState(root); rerr != nil {
 			return seen, fmt.Errorf("core: resetting after failed cleanup scan: %w", rerr)
 		}
@@ -129,11 +140,17 @@ func (t *Tree) sequentialScan(src data.Source, root *bnode) (int64, error) {
 	direct := newDirectTree(root)
 	rows := t.cfg.chunkRows()
 	sc := newRouteScratch(rows)
+	start := time.Now()
 	var seen int64
 	err := data.ForEachChunk(src, rows, func(ch *data.Chunk) error {
 		seen += int64(ch.Len())
 		return direct.routeChunk(ch, nil, sc, 0)
 	})
+	if err == nil {
+		// The sequential scan reports as shard 0 so the per-shard
+		// throughput metrics exist at every Parallelism setting.
+		t.recordShardThroughput(0, seen, time.Since(start).Seconds())
+	}
 	return seen, err
 }
 
@@ -516,12 +533,14 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 	}
 	rows := t.cfg.chunkRows()
 	pool := data.NewChunkPool(len(t.schema.Attributes), rows)
+	start := time.Now()
 
 	var (
 		wg      sync.WaitGroup
 		errOnce sync.Once
 		workErr error
 		failed  = make(chan struct{})
+		routed  = make([]int64, w) // per-shard tuple intake, for throughput metrics
 	)
 	fail := func(err error) {
 		errOnce.Do(func() {
@@ -533,7 +552,7 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 	for i := range chans {
 		chans[i] = make(chan *data.Chunk, 2)
 		wg.Add(1)
-		go func(shard *shardNode, in <-chan *data.Chunk) {
+		go func(shard *shardNode, in <-chan *data.Chunk, routed *int64) {
 			defer wg.Done()
 			sc := newRouteScratch(rows)
 			ok := true
@@ -543,10 +562,11 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 						fail(err)
 						ok = false // drain after failure so the dealer never blocks
 					}
+					*routed += int64(chunk.Len())
 				}
 				pool.Put(chunk)
 			}
-		}(shards[i], chans[i])
+		}(shards[i], chans[i], &routed[i])
 	}
 
 	// Deal chunks round-robin. The dealer owns each chunk until the send;
@@ -598,6 +618,10 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 		return seen, scanErr
 	}
 
+	secs := time.Since(start).Seconds()
+	for i, n := range routed {
+		t.recordShardThroughput(i, n, secs)
+	}
 	for i, s := range shards {
 		if err := s.merge(); err != nil {
 			// Close the failed shard too: merge returns mid-walk with its

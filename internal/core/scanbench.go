@@ -67,7 +67,13 @@ func NewScanBench(src data.Source, cfg Config) (*ScanBench, error) {
 	if budget == nil {
 		budget = data.NewMemBudget(cfg.MemBudgetTuples)
 	}
-	t := &Tree{cfg: cfg, schema: src.Schema(), budget: budget}
+	t := &Tree{
+		cfg:    cfg,
+		schema: src.Schema(),
+		budget: budget,
+		met:    newMetricSet(cfg.Metrics),
+		log:    resolveLogger(cfg.Logger),
+	}
 	t.impurityBased, _ = cfg.Method.(split.ImpurityBased)
 	t.momentBased, _ = cfg.Method.(split.MomentBased)
 	if t.impurityBased == nil && t.momentBased == nil {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 )
 
@@ -148,6 +149,10 @@ type SpillEnv struct {
 	FS FS
 	// Retry bounds retry-with-backoff for transient storage errors.
 	Retry RetryPolicy
+	// Log, when non-nil, receives structured records for spill-path
+	// anomalies: a warning per transient-error retry and an error when a
+	// fault survives the retry policy and poisons the buffer.
+	Log *slog.Logger
 }
 
 func (e SpillEnv) fs() FS { return fsOrDefault(e.FS) }
@@ -170,6 +175,7 @@ type spillWriter struct {
 	retry     RetryPolicy
 	rec       SpillRecorder // spill accounting (durable bytes only)
 	frec      FaultRecorder // retry/failure accounting
+	log       *slog.Logger  // may be nil
 	tupleSize int
 
 	buf      []byte
@@ -214,11 +220,19 @@ func (w *spillWriter) flush() error {
 			if w.frec != nil {
 				w.frec.RecordSpillError()
 			}
+			if w.log != nil {
+				w.log.Error("spill write failed permanently; buffer poisoned",
+					"file", w.f.Name(), "err", err, "tries", tries+1)
+			}
 			return &SpillError{Op: "write", Err: err}
 		}
 		tries++
 		if w.frec != nil {
 			w.frec.RecordSpillRetry()
+		}
+		if w.log != nil {
+			w.log.Warn("transient spill write fault; retrying",
+				"file", w.f.Name(), "err", err, "try", tries, "backoff", backoff)
 		}
 		p.Sleep(backoff)
 		backoff *= 2
@@ -435,6 +449,7 @@ func (sb *SpillBuffer) spillCheck() error {
 			retry:     sb.env.Retry,
 			rec:       sb.env.Rec,
 			frec:      frec,
+			log:       sb.env.Log,
 			tupleSize: FormatWide.TupleSize(sb.schema),
 		}
 	}

@@ -16,6 +16,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"github.com/boatml/boat/internal/gen"
 	"github.com/boatml/boat/internal/inmem"
 	"github.com/boatml/boat/internal/iostats"
+	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/rainforest"
 	"github.com/boatml/boat/internal/split"
 	"github.com/boatml/boat/internal/tree"
@@ -66,6 +68,12 @@ type Config struct {
 	Parallelism int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Logger, when non-nil, receives progress records as structured logs
+	// (preferred over Log) and is threaded into the BOAT builds.
+	Logger *slog.Logger
+	// Metrics, when non-nil, receives the metrics of every BOAT build an
+	// experiment performs (counters accumulate across builds).
+	Metrics *obs.Registry
 }
 
 func (c Config) normalized() Config {
@@ -107,6 +115,10 @@ func (c Config) subsampleSize() int {
 func (c Config) threshold() int64 { return int64(c.ThresholdUnits * float64(c.Unit)) }
 
 func (c Config) logf(format string, args ...any) {
+	if c.Logger != nil {
+		c.Logger.Info(fmt.Sprintf(format, args...))
+		return
+	}
 	if c.Log != nil {
 		fmt.Fprintf(c.Log, format+"\n", args...)
 	}
@@ -224,6 +236,8 @@ func (c Config) boatConfig(st *iostats.Stats) core.Config {
 		Seed:            c.Seed + 1,
 		Stats:           st,
 		Parallelism:     c.Parallelism,
+		Metrics:         c.Metrics,
+		Logger:          c.Logger,
 	}
 }
 

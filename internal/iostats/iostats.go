@@ -206,6 +206,24 @@ func (s *Stats) Snapshot() Snapshot {
 	}
 }
 
+// Add returns the counter-wise sum of two snapshots (for aggregating
+// per-pass accounting into one total).
+func (a Snapshot) Add(b Snapshot) Snapshot {
+	return Snapshot{
+		Scans:         a.Scans + b.Scans,
+		TuplesRead:    a.TuplesRead + b.TuplesRead,
+		BytesRead:     a.BytesRead + b.BytesRead,
+		SpillTuples:   a.SpillTuples + b.SpillTuples,
+		SpillBytes:    a.SpillBytes + b.SpillBytes,
+		SpillRetries:  a.SpillRetries + b.SpillRetries,
+		SpillErrors:   a.SpillErrors + b.SpillErrors,
+		ScanFallbacks: a.ScanFallbacks + b.ScanFallbacks,
+		ScanRetries:   a.ScanRetries + b.ScanRetries,
+		AllocObjects:  a.AllocObjects + b.AllocObjects,
+		AllocBytes:    a.AllocBytes + b.AllocBytes,
+	}
+}
+
 // Sub returns the counter deltas since an earlier snapshot.
 func (a Snapshot) Sub(b Snapshot) Snapshot {
 	return Snapshot{
@@ -292,11 +310,13 @@ type trackedChunkScanner struct {
 	tupleBytes int64
 }
 
+// NextChunk records the rows delivered into dst even when the inner scan
+// also returns an error: a scanner may hand back a final partial chunk
+// together with a terminal error, and those rows were still read.
 func (t *trackedChunkScanner) NextChunk(dst *data.Chunk) error {
 	before := dst.Len()
 	err := t.inner.NextChunk(dst)
-	if err == nil {
-		n := int64(dst.Len() - before)
+	if n := int64(dst.Len() - before); n > 0 {
 		t.stats.RecordRead(n, n*t.tupleBytes)
 	}
 	return err
@@ -310,10 +330,11 @@ type trackedScanner struct {
 	tupleBytes int64
 }
 
+// Next records delivered rows even when they arrive together with a
+// terminal error (a final partial batch must not go uncounted).
 func (t *trackedScanner) Next() ([]data.Tuple, error) {
 	batch, err := t.inner.Next()
-	if err == nil {
-		n := int64(len(batch))
+	if n := int64(len(batch)); n > 0 {
 		t.stats.RecordRead(n, n*t.tupleBytes)
 	}
 	return batch, err

@@ -1,11 +1,15 @@
 package iostats
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 	"testing"
 
 	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/gen"
 )
 
 func testSchema() *data.Schema {
@@ -178,4 +182,261 @@ func TestConcurrentTrackedScans(t *testing.T) {
 	if got := st.TuplesRead(); got != workers*500 {
 		t.Fatalf("recorded %d tuples, want %d", got, workers*500)
 	}
+}
+
+// drainChunks consumes a chunked scan over src and returns the rows seen.
+func drainChunks(t *testing.T, src data.Source) int64 {
+	t.Helper()
+	sc, err := data.ScanChunks(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	chunk := data.NewChunk(len(src.Schema().Attributes), 256)
+	var n int64
+	for {
+		chunk.Reset()
+		err := sc.NextChunk(chunk)
+		n += int64(chunk.Len())
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTrackedChunkedScans verifies the chunked scan path records scans,
+// tuples and bytes for each source kind: in-memory (columnar mirror),
+// file (native chunked reader, file record size) and generator.
+func TestTrackedChunkedScans(t *testing.T) {
+	schema := testSchema()
+	mem := data.NewMemSource(schema, testTuples(1000))
+
+	path := t.TempDir() + "/d.boat"
+	if _, err := data.WriteFile(path, mem, data.FormatCompact); err != nil {
+		t.Fatal(err)
+	}
+	file, err := data.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := gen.MustSource(gen.Config{Function: 1}, 1000, 5)
+
+	cases := []struct {
+		name      string
+		src       data.Source
+		wantBytes int64
+	}{
+		{"mem", mem, 1000 * int64(data.FormatWide.TupleSize(schema))},
+		{"file", file, 1000 * int64(data.FormatCompact.TupleSize(schema))},
+		{"gen", g, 1000 * int64(data.FormatWide.TupleSize(g.Schema()))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var st Stats
+			src := Tracked(tc.src, &st)
+			if n := drainChunks(t, src); n != 1000 {
+				t.Fatalf("chunked scan saw %d rows, want 1000", n)
+			}
+			if st.Scans() != 1 {
+				t.Errorf("Scans = %d, want 1", st.Scans())
+			}
+			if st.TuplesRead() != 1000 {
+				t.Errorf("TuplesRead = %d, want 1000", st.TuplesRead())
+			}
+			if st.BytesRead() != tc.wantBytes {
+				t.Errorf("BytesRead = %d, want %d", st.BytesRead(), tc.wantBytes)
+			}
+		})
+	}
+}
+
+// TestTrackedGenRowScan covers the generator source on the row-at-a-time
+// path (the other two kinds are covered above and in the earlier tests).
+func TestTrackedGenRowScan(t *testing.T) {
+	var st Stats
+	src := Tracked(gen.MustSource(gen.Config{Function: 1}, 750, 11), &st)
+	var n int64
+	if err := data.ForEach(src, func(data.Tuple) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 750 || st.TuplesRead() != 750 || st.Scans() != 1 {
+		t.Fatalf("rows=%d TuplesRead=%d Scans=%d, want 750/750/1", n, st.TuplesRead(), st.Scans())
+	}
+}
+
+// errRowSource delivers its rows in one batch together with a terminal
+// error, like a reader hitting corruption after a final partial batch.
+type errRowSource struct {
+	schema *data.Schema
+	tuples []data.Tuple
+	err    error
+}
+
+func (s *errRowSource) Schema() *data.Schema { return s.schema }
+func (s *errRowSource) Count() (int64, bool) { return 0, false }
+func (s *errRowSource) Scan() (data.Scanner, error) {
+	return &errRowScanner{tuples: s.tuples, err: s.err}, nil
+}
+
+type errRowScanner struct {
+	tuples []data.Tuple
+	err    error
+}
+
+func (s *errRowScanner) Next() ([]data.Tuple, error) {
+	batch := s.tuples
+	s.tuples = nil
+	return batch, s.err
+}
+
+func (s *errRowScanner) Close() error { return nil }
+
+// errChunkSource is the chunked analogue: NextChunk fills rows into dst
+// and returns a terminal error in the same call.
+type errChunkSource struct {
+	errRowSource
+}
+
+func (s *errChunkSource) ScanChunks() (data.ChunkScanner, error) {
+	return &errChunkScanner{tuples: s.tuples, err: s.err}, nil
+}
+
+type errChunkScanner struct {
+	tuples []data.Tuple
+	err    error
+}
+
+func (s *errChunkScanner) NextChunk(dst *data.Chunk) error {
+	for _, tu := range s.tuples {
+		dst.AppendTuple(tu)
+	}
+	s.tuples = nil
+	return s.err
+}
+
+func (s *errChunkScanner) Close() error { return nil }
+
+// TestTrackedCountsRowsDeliveredWithError pins down the accounting fix:
+// rows handed back together with a terminal error were still read and
+// must be counted, on both the row and the chunked path.
+func TestTrackedCountsRowsDeliveredWithError(t *testing.T) {
+	boom := errors.New("disk error")
+	base := errRowSource{schema: testSchema(), tuples: testTuples(7), err: boom}
+
+	t.Run("rows", func(t *testing.T) {
+		var st Stats
+		src := Tracked(&base, &st)
+		sc, err := src.Scan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := sc.Next()
+		if len(batch) != 7 || !errors.Is(err, boom) {
+			t.Fatalf("Next = (%d rows, %v), want 7 rows with the terminal error", len(batch), err)
+		}
+		if st.TuplesRead() != 7 {
+			t.Fatalf("TuplesRead = %d, want 7 (final batch delivered with error)", st.TuplesRead())
+		}
+	})
+
+	t.Run("chunks", func(t *testing.T) {
+		var st Stats
+		src := Tracked(&errChunkSource{errRowSource: base}, &st)
+		cs, err := data.ScanChunks(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := data.NewChunk(len(base.schema.Attributes), 64)
+		err = cs.NextChunk(chunk)
+		if chunk.Len() != 7 || !errors.Is(err, boom) {
+			t.Fatalf("NextChunk = (%d rows, %v), want 7 rows with the terminal error", chunk.Len(), err)
+		}
+		if st.TuplesRead() != 7 {
+			t.Fatalf("TuplesRead = %d, want 7 (final chunk delivered with error)", st.TuplesRead())
+		}
+	})
+}
+
+// TestSnapshotAdd: Add is the counter-wise sum over every field and the
+// inverse of Sub.
+func TestSnapshotAdd(t *testing.T) {
+	a := Snapshot{
+		Scans: 1, TuplesRead: 2, BytesRead: 3, SpillTuples: 4, SpillBytes: 5,
+		SpillRetries: 6, SpillErrors: 7, ScanFallbacks: 8, ScanRetries: 9,
+		AllocObjects: 10, AllocBytes: 11,
+	}
+	b := Snapshot{
+		Scans: 100, TuplesRead: 200, BytesRead: 300, SpillTuples: 400, SpillBytes: 500,
+		SpillRetries: 600, SpillErrors: 700, ScanFallbacks: 800, ScanRetries: 900,
+		AllocObjects: 1000, AllocBytes: 1100,
+	}
+	want := Snapshot{
+		Scans: 101, TuplesRead: 202, BytesRead: 303, SpillTuples: 404, SpillBytes: 505,
+		SpillRetries: 606, SpillErrors: 707, ScanFallbacks: 808, ScanRetries: 909,
+		AllocObjects: 1010, AllocBytes: 1111,
+	}
+	if got := a.Add(b); got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("Add/Sub round-trip = %+v, want %+v", got, a)
+	}
+	if got := a.Sub(a); got != (Snapshot{}) {
+		t.Errorf("a.Sub(a) = %+v, want zero", got)
+	}
+}
+
+// TestSnapshotString: failure and allocation counters appear only when
+// non-zero, so the common all-healthy snapshot stays one short line.
+func TestSnapshotString(t *testing.T) {
+	clean := Snapshot{Scans: 2, TuplesRead: 10, BytesRead: 400}.String()
+	if strings.Contains(clean, "spillRetries") || strings.Contains(clean, "allocs/tuple") {
+		t.Errorf("clean snapshot shows failure/alloc counters: %q", clean)
+	}
+	faulty := Snapshot{Scans: 1, SpillRetries: 3, ScanFallbacks: 1}.String()
+	if !strings.Contains(faulty, "spillRetries=3") || !strings.Contains(faulty, "scanFallbacks=1") {
+		t.Errorf("faulty snapshot hides failure counters: %q", faulty)
+	}
+	allocs := Snapshot{TuplesRead: 10, AllocObjects: 5, AllocBytes: 160}.String()
+	if !strings.Contains(allocs, "allocs/tuple=0.500") || !strings.Contains(allocs, "allocBytes/tuple=16.0") {
+		t.Errorf("alloc rendering wrong: %q", allocs)
+	}
+}
+
+// TestConcurrentRecordAllocs: benchmark harnesses attribute MemStats
+// deltas from several goroutines; no updates may be lost.
+func TestConcurrentRecordAllocs(t *testing.T) {
+	var st Stats
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				st.RecordAllocs(3, 96)
+				st.RecordSpillRetry()
+				st.RecordScanFallback()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := st.Snapshot()
+	if snap.AllocObjects != 3*workers*perWorker || snap.AllocBytes != 96*workers*perWorker {
+		t.Fatalf("lost alloc updates: %+v", snap)
+	}
+	if snap.SpillRetries != workers*perWorker || snap.ScanFallbacks != workers*perWorker {
+		t.Fatalf("lost fault updates: %+v", snap)
+	}
+	// The nil receiver stays a no-op for the fault/alloc recorders too.
+	var nilStats *Stats
+	nilStats.RecordAllocs(1, 1)
+	nilStats.RecordSpillRetry()
+	nilStats.RecordSpillError()
+	nilStats.RecordScanFallback()
+	nilStats.RecordScanRetry()
 }

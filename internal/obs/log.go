@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogConfig selects the structured-logging format the commands share
+// (flags -logjson, -loglevel).
+type LogConfig struct {
+	// JSON selects slog's JSON handler; false selects the text handler.
+	JSON bool
+	// Level is the minimum level ("debug", "info", "warn", "error";
+	// "" = info).
+	Level string
+}
+
+// ParseLevel maps a -loglevel flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the commands' logger: text or JSON per cfg, writing to
+// w. Timestamps are kept (they cost nothing and order multi-command
+// pipelines); the text handler is the human default, JSON the
+// machine-ingestion opt-in.
+func NewLogger(w io.Writer, cfg LogConfig) (*slog.Logger, error) {
+	level, err := ParseLevel(cfg.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if cfg.JSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h), nil
+}
+
+// NopLogger returns a logger that discards everything — callers that
+// thread a *slog.Logger through can default to it instead of branching
+// on nil at every call site.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a lock-cheap metrics registry. Metric lookup (Counter,
+// Gauge, Histogram) takes the registry mutex once to get-or-create the
+// instrument; the returned handle is then updated with plain atomics, so
+// hot paths fetch their instruments up front and pay one atomic add per
+// event. A nil Registry hands out nil instruments, whose methods are all
+// no-ops — disabled metrics cost one nil check per update.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil when the registry is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// when the registry is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil when the registry is nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated float64 value (last write wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histogramBuckets is the number of power-of-two buckets a Histogram
+// keeps: bucket i counts observations v with 2^i <= v < 2^(i+1)
+// (bucket 0 also absorbs v <= 1). 63 buckets cover the int64 range.
+const histogramBuckets = 63
+
+// Histogram accumulates int64 observations into power-of-two buckets
+// with an exact count and sum. Updates are atomic per bucket; there is
+// no lock, so concurrent Observe calls scale.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histogramBuckets]atomic.Int64
+}
+
+// Observe records one observation. Negative values clamp to bucket 0.
+// No-op on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1 // floor(log2 v)
+	if b >= histogramBuckets {
+		b = histogramBuckets - 1
+	}
+	return b
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is the exported state of a Histogram: Buckets maps
+// the inclusive upper bound of each non-empty bucket to its count.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if s.Buckets == nil {
+			s.Buckets = map[string]int64{}
+		}
+		upper := int64(math.MaxInt64)
+		if i < histogramBuckets-1 {
+			upper = int64(1)<<uint(i+1) - 1
+		}
+		s.Buckets[fmt.Sprintf("le_%d", upper)] = n
+	}
+	return s
+}
+
+// MetricsSnapshot is an immutable dump of a Registry.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every instrument's current value. Returns the zero
+// snapshot for a nil registry.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON (keys sorted by
+// encoding/json's map ordering, so dumps are diffable).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}
+
+// Publish registers the registry under name in the process-wide expvar
+// namespace, making it visible on /debug/vars when an HTTP server is
+// running. Publishing the same name twice is a no-op (expvar itself
+// panics on duplicates, so the second registry wins nothing).
+func (r *Registry) Publish(name string) {
+	if r == nil {
+		return
+	}
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

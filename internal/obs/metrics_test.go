@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1.5)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments accumulated values")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Fatalf("nil registry snapshot = %+v", s)
+	}
+	r.Publish("nil-registry") // must not panic
+}
+
+func TestNilInstrumentZeroAlloc(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("h")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		h.Observe(17)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil instruments allocated %v objects per op", allocs)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("verify.ci.hit")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("verify.ci.hit") != c {
+		t.Fatal("counter lookup is not stable")
+	}
+	g := r.Gauge("scan.shard.0.tuples_per_sec")
+	g.Set(12.5)
+	if g.Value() != 12.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("scan.stuck.per_node")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000, math.MaxInt64} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	snap := h.snapshot()
+	if snap.Buckets["le_1"] != 2 { // 0 and 1
+		t.Fatalf("le_1 = %d, want 2", snap.Buckets["le_1"])
+	}
+	if snap.Buckets["le_3"] != 2 { // 2 and 3
+		t.Fatalf("le_3 = %d, want 2", snap.Buckets["le_3"])
+	}
+	if snap.Buckets["le_9223372036854775807"] != 1 {
+		t.Fatalf("top bucket = %+v", snap.Buckets)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int64]int{
+		-5: 0, 0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3,
+		1 << 40: 40, math.MaxInt64: 62,
+	}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Fatalf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSnapshotAndWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("verify.ci.hit").Add(10)
+	r.Counter("verify.ci.miss").Add(2)
+	r.Gauge("scan.shard.0.tuples_per_sec").Set(1e6)
+	r.Histogram("scan.stuck.per_node").Observe(42)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Counters["verify.ci.hit"] != 10 || doc.Counters["verify.ci.miss"] != 2 {
+		t.Fatalf("counters = %+v", doc.Counters)
+	}
+	if doc.Gauges["scan.shard.0.tuples_per_sec"] != 1e6 {
+		t.Fatalf("gauges = %+v", doc.Gauges)
+	}
+	if doc.Histograms["scan.stuck.per_node"].Count != 1 {
+		t.Fatalf("histograms = %+v", doc.Histograms)
+	}
+	// Dumps are deterministic (encoding/json sorts map keys).
+	var buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("two dumps of the same registry differ")
+	}
+}
+
+func TestConcurrentInstrumentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+				r.Gauge("g").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("hist").Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("published.counter").Add(7)
+	r.Publish("boat-test-metrics")
+	r.Publish("boat-test-metrics") // duplicate: no panic
+	v := expvar.Get("boat-test-metrics")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	if !strings.Contains(v.String(), "published.counter") {
+		t.Fatalf("expvar payload = %s", v.String())
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"": slog.LevelInfo, "info": slog.LevelInfo, "debug": slog.LevelDebug,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+		"DEBUG": slog.LevelDebug,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted junk")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, LogConfig{JSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "tuples", 5)
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("json log line invalid: %v\n%s", err, buf.String())
+	}
+	if doc["msg"] != "hello" || doc["tuples"] != float64(5) {
+		t.Fatalf("log doc = %v", doc)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, LogConfig{Level: "warn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("suppressed")
+	lg.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering broken: %s", out)
+	}
+
+	if _, err := NewLogger(&buf, LogConfig{Level: "bogus"}); err == nil {
+		t.Fatal("NewLogger accepted a bogus level")
+	}
+
+	NopLogger().Error("dropped") // must not panic or print
+}

@@ -1,0 +1,403 @@
+// Package obs is the observability layer of the BOAT pipeline: a
+// build-lifecycle tracer with hierarchical spans (trace.go), a lock-cheap
+// metrics registry (metrics.go), and slog-based structured logging
+// helpers (log.go).
+//
+// Everything in this package is nil-safe: a nil *Tracer, *Span, *Registry,
+// *Counter, *Gauge or *Histogram accepts every call as a no-op, so
+// instrumented code never branches on "is observability enabled" — it
+// simply calls through, and a disabled build pays only a nil check per
+// call site (verified by the zero-overhead guards in trace_test.go).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/boatml/boat/internal/iostats"
+)
+
+// Tracer records the lifecycle of one or more builds as a forest of
+// hierarchical spans. Spans may be started and ended from concurrent
+// goroutines; each span's identity is carried explicitly (there is no
+// goroutine-local "current span"), which keeps attribution exact under
+// the parallel build phases.
+//
+// A nil Tracer is the disabled tracer: Start returns a nil Span, and all
+// Span methods on nil are no-ops.
+type Tracer struct {
+	stats *iostats.Stats // optional: per-span I/O snapshots
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer returns an enabled tracer. stats, when non-nil, is snapshotted
+// at every span start and end so each span carries the iostats delta of
+// its lifetime.
+func NewTracer(stats *iostats.Stats) *Tracer {
+	return &Tracer{stats: stats}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Start begins a root span. Returns nil when the tracer is nil.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, start: time.Now(), startIO: t.stats.Snapshot()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Roots returns the completed-or-live root spans in start order.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Span is one timed region of a build. Start children with Start; close
+// the region with End (idempotent). All methods are safe on a nil Span
+// and safe for concurrent use.
+type Span struct {
+	tracer  *Tracer
+	name    string
+	start   time.Time
+	startIO iostats.Snapshot
+
+	mu       sync.Mutex
+	end      time.Time
+	endIO    iostats.Snapshot
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Start begins a child span. Returns nil when s is nil.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, name: name, start: time.Now(), startIO: s.tracer.stats.Snapshot()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, capturing its end time and I/O snapshot. Only the
+// first End takes effect.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = time.Now()
+		s.endIO = s.tracer.stats.Snapshot()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span. Later values for the same key win at export.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Name returns the span name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// StartTime returns the span's start time.
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns the span's wall-clock length. Un-ended spans measure
+// up to now.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Children returns the direct child spans in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Attrs returns the span's annotations in insertion order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// IODelta returns the iostats delta over the span's lifetime (zero when
+// the tracer has no stats or the span is nil). Parent deltas include
+// their children's; see SelfIODelta for the exclusive share.
+func (s *Span) IODelta() iostats.Snapshot {
+	if s == nil {
+		return iostats.Snapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := s.endIO
+	if !s.ended {
+		end = s.tracer.stats.Snapshot()
+	}
+	return end.Sub(s.startIO)
+}
+
+// SelfIODelta returns the span's iostats delta minus its direct
+// children's deltas: the I/O attributable to the span's own code. With
+// sequential execution the self deltas over a trace sum exactly to the
+// root deltas; concurrent sibling spans can both observe the same
+// counter movement, making the attribution approximate (never the
+// totals — those stay exact on the root span).
+func (s *Span) SelfIODelta() iostats.Snapshot {
+	if s == nil {
+		return iostats.Snapshot{}
+	}
+	d := s.IODelta()
+	for _, c := range s.Children() {
+		d = d.Sub(c.IODelta())
+	}
+	return d
+}
+
+// ChildCoverage returns the fraction of the span's wall-clock covered by
+// the union of its direct children's intervals (0 for a nil or
+// zero-length span). It is the quantity the acceptance gate "spans cover
+// >= 95% of build wall-clock" checks on the build root.
+func (s *Span) ChildCoverage() float64 {
+	if s == nil {
+		return 0
+	}
+	total := s.Duration()
+	if total <= 0 {
+		return 0
+	}
+	children := s.Children()
+	type iv struct{ a, b time.Time }
+	ivs := make([]iv, 0, len(children))
+	for _, c := range children {
+		ivs = append(ivs, iv{c.start, c.start.Add(c.Duration())})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a.Before(ivs[j].a) })
+	var covered time.Duration
+	var curA, curB time.Time
+	for i, v := range ivs {
+		if i == 0 || v.a.After(curB) {
+			covered += curB.Sub(curA)
+			curA, curB = v.a, v.b
+			continue
+		}
+		if v.b.After(curB) {
+			curB = v.b
+		}
+	}
+	covered += curB.Sub(curA)
+	return float64(covered) / float64(total)
+}
+
+// Skeleton renders the trace's span structure — names and nesting only,
+// no timings, no attributes — with same-parent siblings in a canonical
+// order, so traces recorded under different Parallelism settings (or on
+// different machines) are directly diffable. BOAT's exactness guarantee
+// makes the set of phases, rebuilds and promotions identical across
+// worker counts; only the interleaving differs, and the canonical order
+// removes it.
+func (t *Tracer) Skeleton() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for i, r := range t.Roots() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.skeleton())
+	}
+	return b.String()
+}
+
+func (s *Span) skeleton() string {
+	if s == nil {
+		return ""
+	}
+	children := s.Children()
+	if len(children) == 0 {
+		return s.Name()
+	}
+	parts := make([]string, len(children))
+	for i, c := range children {
+		parts[i] = c.skeleton()
+	}
+	sort.Strings(parts)
+	return s.Name() + "(" + strings.Join(parts, " ") + ")"
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome trace-event
+// format (the JSON consumed by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`  // µs since trace start
+	Dur  int64          `json:"dur"` // µs
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the trace as Chrome trace-event JSON. Spans
+// become complete events; each nesting depth is a lane group, and
+// overlapping spans at the same depth (concurrent rebuilds, for example)
+// are spread across lanes by greedy interval partitioning so every lane
+// holds non-overlapping, viewer-nestable events. Span args carry the
+// attributes plus the span's iostats delta and self delta.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: exporting a nil tracer")
+	}
+	roots := t.Roots()
+	if len(roots) == 0 {
+		return fmt.Errorf("obs: trace holds no spans")
+	}
+	origin := roots[0].start
+	for _, r := range roots[1:] {
+		if r.start.Before(origin) {
+			origin = r.start
+		}
+	}
+
+	type flat struct {
+		s     *Span
+		depth int
+	}
+	var spans []flat
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		spans = append(spans, flat{s, depth})
+		for _, c := range s.Children() {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+
+	// Assign lanes per depth: sort by start, reuse the first lane whose
+	// previous span has ended, otherwise open a new one. tid = depth*64 +
+	// lane keeps lanes of one depth adjacent in the viewer.
+	byDepth := map[int][]flat{}
+	for _, f := range spans {
+		byDepth[f.depth] = append(byDepth[f.depth], f)
+	}
+	tids := make(map[*Span]int, len(spans))
+	depths := make([]int, 0, len(byDepth))
+	for d := range byDepth {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	for _, d := range depths {
+		level := byDepth[d]
+		sort.SliceStable(level, func(i, j int) bool { return level[i].s.start.Before(level[j].s.start) })
+		var laneEnds []time.Time
+		for _, f := range level {
+			end := f.s.start.Add(f.s.Duration())
+			lane := -1
+			for i, le := range laneEnds {
+				if !f.s.start.Before(le) {
+					lane = i
+					break
+				}
+			}
+			if lane < 0 {
+				lane = len(laneEnds)
+				laneEnds = append(laneEnds, end)
+			} else {
+				laneEnds[lane] = end
+			}
+			tids[f.s] = d*64 + lane
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(spans))
+	for _, f := range spans {
+		s := f.s
+		args := map[string]any{}
+		for _, a := range s.Attrs() {
+			args[a.Key] = a.Value
+		}
+		if t.stats != nil {
+			args["io"] = s.IODelta()
+			args["io_self"] = s.SelfIODelta()
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name(),
+			Ph:   "X",
+			Ts:   s.start.Sub(origin).Microseconds(),
+			Dur:  s.Duration().Microseconds(),
+			Pid:  1,
+			Tid:  tids[s],
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

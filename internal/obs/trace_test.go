@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/boatml/boat/internal/iostats"
+)
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Start("build")
+	if sp != nil {
+		t.Fatalf("nil tracer returned non-nil span %v", sp)
+	}
+	// Every Span method must accept the nil receiver.
+	child := sp.Start("phase")
+	if child != nil {
+		t.Fatal("nil span returned non-nil child")
+	}
+	sp.SetAttr("k", 1)
+	sp.End()
+	if got := sp.Name(); got != "" {
+		t.Fatalf("nil span name = %q", got)
+	}
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil span duration = %v", d)
+	}
+	if got := sp.IODelta(); got != (iostats.Snapshot{}) {
+		t.Fatalf("nil span io delta = %+v", got)
+	}
+	if got := sp.SelfIODelta(); got != (iostats.Snapshot{}) {
+		t.Fatalf("nil span self io delta = %+v", got)
+	}
+	if c := sp.ChildCoverage(); c != 0 {
+		t.Fatalf("nil span coverage = %v", c)
+	}
+	if tr.Roots() != nil || sp.Children() != nil || sp.Attrs() != nil {
+		t.Fatal("nil accessors returned non-nil slices")
+	}
+	if tr.Skeleton() != "" {
+		t.Fatal("nil tracer skeleton non-empty")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil tracer export should error")
+	}
+}
+
+// TestDisabledTracerZeroAlloc is the overhead guard for the disabled
+// path: the full per-call-site sequence (start child, set attr, end) on a
+// nil tracer must not allocate.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("build")
+		c := sp.Start("phase")
+		c.SetAttr("n", 1)
+		c.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %v objects per op", allocs)
+	}
+}
+
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("build")
+		c := sp.Start("phase")
+		c.End()
+		sp.End()
+	}
+}
+
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr := NewTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("build")
+		c := sp.Start("phase")
+		c.End()
+		sp.End()
+	}
+}
+
+func TestSpanHierarchyAndIODeltas(t *testing.T) {
+	var st iostats.Stats
+	tr := NewTracer(&st)
+	root := tr.Start("build")
+	st.RecordScan()
+
+	a := root.Start("sampling")
+	st.RecordRead(100, 4000)
+	a.End()
+
+	b := root.Start("cleanup-scan")
+	st.RecordScan()
+	st.RecordRead(900, 36000)
+	b.End()
+	root.End()
+
+	if got := root.IODelta(); got.Scans != 2 || got.TuplesRead != 1000 {
+		t.Fatalf("root delta = %+v", got)
+	}
+	if got := a.IODelta(); got.TuplesRead != 100 || got.Scans != 0 {
+		t.Fatalf("sampling delta = %+v", got)
+	}
+	if got := b.IODelta(); got.TuplesRead != 900 || got.Scans != 1 {
+		t.Fatalf("scan delta = %+v", got)
+	}
+	// Self delta of the root excludes the children: only the stray
+	// RecordScan between root start and the first child remains.
+	if got := root.SelfIODelta(); got.Scans != 1 || got.TuplesRead != 0 {
+		t.Fatalf("root self delta = %+v", got)
+	}
+	// Self deltas over the whole trace sum to the root delta.
+	sum := root.SelfIODelta()
+	for _, c := range root.Children() {
+		d := c.SelfIODelta()
+		sum.Scans += d.Scans
+		sum.TuplesRead += d.TuplesRead
+		sum.BytesRead += d.BytesRead
+	}
+	if rd := root.IODelta(); sum.Scans != rd.Scans || sum.TuplesRead != rd.TuplesRead || sum.BytesRead != rd.BytesRead {
+		t.Fatalf("self deltas sum %+v != root delta %+v", sum, rd)
+	}
+}
+
+func TestSkeletonCanonicalOrder(t *testing.T) {
+	mk := func(order []string) string {
+		tr := NewTracer(nil)
+		root := tr.Start("build")
+		for _, name := range order {
+			c := root.Start(name)
+			c.Start("inner").End()
+			c.End()
+		}
+		root.End()
+		return tr.Skeleton()
+	}
+	a := mk([]string{"rebuild", "rebuild", "leaf"})
+	b := mk([]string{"leaf", "rebuild", "rebuild"})
+	if a != b {
+		t.Fatalf("skeletons differ across sibling order:\n%s\n%s", a, b)
+	}
+	if want := "build(leaf(inner) rebuild(inner) rebuild(inner))"; a != want {
+		t.Fatalf("skeleton = %q, want %q", a, want)
+	}
+}
+
+func TestChildCoverage(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Start("build")
+	c1 := root.Start("a")
+	time.Sleep(5 * time.Millisecond)
+	c1.End()
+	c2 := root.Start("b")
+	time.Sleep(5 * time.Millisecond)
+	c2.End()
+	root.End()
+	if cov := root.ChildCoverage(); cov < 0.5 || cov > 1.0 {
+		t.Fatalf("coverage = %v, want within (0.5, 1]", cov)
+	}
+	leaf := tr.Start("leaf")
+	leaf.End()
+	if cov := leaf.ChildCoverage(); cov != 0 {
+		t.Fatalf("childless coverage = %v", cov)
+	}
+}
+
+func TestConcurrentSpanStarts(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Start("build")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := root.Start("worker")
+				sp.SetAttr("j", j)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 1600 {
+		t.Fatalf("children = %d, want 1600", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var st iostats.Stats
+	tr := NewTracer(&st)
+	root := tr.Start("build")
+	root.SetAttr("tuples", int64(123))
+	s := root.Start("sampling")
+	st.RecordRead(10, 400)
+	s.End()
+	// Two overlapping children at the same depth must land on distinct
+	// lanes.
+	p1 := root.Start("rebuild")
+	p2 := root.Start("rebuild")
+	time.Sleep(time.Millisecond)
+	p1.End()
+	p2.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(doc.TraceEvents))
+	}
+	tids := map[int]bool{}
+	var sawBuild bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Ts == nil || ev.Dur == nil {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		if ev.Name == "rebuild" {
+			if tids[ev.Tid] {
+				t.Fatal("overlapping rebuild spans share a tid")
+			}
+			tids[ev.Tid] = true
+		}
+		if ev.Name == "build" {
+			sawBuild = true
+			if ev.Args["tuples"] != float64(123) {
+				t.Fatalf("build args = %v", ev.Args)
+			}
+			if _, ok := ev.Args["io"]; !ok {
+				t.Fatal("build event has no io delta")
+			}
+		}
+	}
+	if !sawBuild {
+		t.Fatal("no build event exported")
+	}
+	if !strings.Contains(buf.String(), "displayTimeUnit") {
+		t.Fatal("export missing displayTimeUnit")
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.Start("x")
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if sp.Duration() != d {
+		t.Fatal("second End moved the end time")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"github.com/boatml/boat"
 	"github.com/boatml/boat/internal/core"
@@ -442,8 +443,99 @@ func BenchmarkMicroRouteTuples(b *testing.B) {
 }
 
 // BenchmarkMicroClassify measures classification throughput through the
-// public API.
+// public API: the per-tuple pointer walk (the seed-era baseline), the
+// per-tuple flat walk, and the chunked kernel, across two tree depths and
+// two chunk geometries. Sub-benchmark names are
+// depth<D>/<pointer|flat|chunk<rows>>; compare tuples/sec and allocs/op
+// across them.
 func BenchmarkMicroClassify(b *testing.B) {
+	src, err := boat.Synthetic(boat.SyntheticConfig{Function: 7, Noise: 0.05}, 30_000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples, err := data.ReadAll(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{4, 8} {
+		model, err := boat.Grow(src, boat.Options{
+			Method: boat.Gini(), MaxDepth: depth, MinSplit: 20, Seed: 1, SampleSize: 5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := model.Tree()
+		flat, err := boat.CompileTree(tr)
+		if err != nil {
+			model.Close()
+			b.Fatal(err)
+		}
+		prefix := fmt.Sprintf("depth%d", tr.Depth())
+
+		b.Run(prefix+"/pointer", func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				_ = tr.Classify(tuples[i%len(tuples)])
+			}
+			reportTuplesPerSec(b, int64(b.N), time.Since(start))
+		})
+		b.Run(prefix+"/flat", func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				_ = flat.Classify(tuples[i%len(tuples)])
+			}
+			reportTuplesPerSec(b, int64(b.N), time.Since(start))
+		})
+		for _, rows := range []int{64, 1024} {
+			b.Run(fmt.Sprintf("%s/chunk%d", prefix, rows), func(b *testing.B) {
+				chunks := packChunks(tuples, len(src.Schema().Attributes), rows)
+				out := make([]int, rows)
+				sc := boat.NewClassifyScratch()
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				var n int64
+				for i := 0; i < b.N; i++ {
+					ch := chunks[i%len(chunks)]
+					flat.ClassifyChunkScratch(ch, out, sc)
+					n += int64(ch.Len())
+				}
+				reportTuplesPerSec(b, n, time.Since(start))
+			})
+		}
+		model.Close()
+	}
+}
+
+// packChunks transposes the tuples into columnar chunks of the given row
+// capacity.
+func packChunks(tuples []data.Tuple, width, rows int) []*data.Chunk {
+	var chunks []*data.Chunk
+	for base := 0; base < len(tuples); base += rows {
+		end := base + rows
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		ch := data.NewChunk(width, rows)
+		for _, tp := range tuples[base:end] {
+			ch.AppendTuple(tp)
+		}
+		chunks = append(chunks, ch)
+	}
+	return chunks
+}
+
+func reportTuplesPerSec(b *testing.B, tuples int64, elapsed time.Duration) {
+	if s := elapsed.Seconds(); s > 0 {
+		b.ReportMetric(float64(tuples)/s, "tuples/sec")
+	}
+}
+
+// BenchmarkMicroPredict measures the full parallel predictor (scan +
+// chunked kernels + worker pool) end to end over the same workload.
+func BenchmarkMicroPredict(b *testing.B) {
 	src, err := boat.Synthetic(boat.SyntheticConfig{Function: 7, Noise: 0.05}, 30_000, 5)
 	if err != nil {
 		b.Fatal(err)
@@ -455,15 +547,26 @@ func BenchmarkMicroClassify(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer model.Close()
-	tr := model.Tree()
+	p, err := boat.NewPredictor(model.Tree(), boat.PredictorOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	tuples, err := data.ReadAll(src)
 	if err != nil {
 		b.Fatal(err)
 	}
+	mem := data.NewMemSource(src.Schema(), tuples)
 	b.ResetTimer()
+	start := time.Now()
+	var n int64
 	for i := 0; i < b.N; i++ {
-		_ = tr.Classify(tuples[i%len(tuples)])
+		res, err := p.Predict(mem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n += res.Tuples
 	}
+	reportTuplesPerSec(b, n, time.Since(start))
 }
 
 // BenchmarkMicroRainForestScan measures one RF level scan for context.

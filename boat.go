@@ -53,6 +53,7 @@ import (
 	"github.com/boatml/boat/internal/inmem"
 	"github.com/boatml/boat/internal/iostats"
 	"github.com/boatml/boat/internal/obs"
+	"github.com/boatml/boat/internal/predict"
 	"github.com/boatml/boat/internal/prune"
 	"github.com/boatml/boat/internal/rainforest"
 	"github.com/boatml/boat/internal/split"
@@ -164,6 +165,41 @@ type (
 	// UpdateStats reports what happened during Insert/Delete.
 	UpdateStats = core.UpdateStats
 )
+
+// Inference path (see DESIGN.md §13): a compiled struct-of-arrays tree
+// layout plus a parallel batch predictor over columnar chunk streams.
+type (
+	// FlatDecisionTree is the immutable breadth-first struct-of-arrays
+	// compilation of a DecisionTree, built for high-throughput serving;
+	// its predictions are bit-identical to DecisionTree.Classify.
+	FlatDecisionTree = tree.FlatTree
+	// Predictor shards columnar chunk streams across a worker pool and
+	// classifies them through a FlatDecisionTree.
+	Predictor = predict.Predictor
+	// PredictorOptions configures NewPredictor; the zero value is valid.
+	PredictorOptions = predict.Config
+	// Prediction is one Predictor.Predict call's output: per-tuple
+	// labels in source order, throughput, and (when requested) a
+	// confusion matrix against the source's labels.
+	Prediction = predict.Result
+	// ClassifyScratch is the reusable per-goroutine scratch of
+	// FlatDecisionTree.ClassifyChunkScratch.
+	ClassifyScratch = tree.ClassifyScratch
+)
+
+// NewClassifyScratch returns an empty chunk-classification scratch for
+// FlatDecisionTree.ClassifyChunkScratch.
+func NewClassifyScratch() *ClassifyScratch { return tree.NewClassifyScratch() }
+
+// CompileTree flattens a decision tree into the serving layout.
+func CompileTree(t *DecisionTree) (*FlatDecisionTree, error) { return tree.Compile(t) }
+
+// NewPredictor compiles the tree and returns a parallel batch predictor
+// over it. Predictions are bit-identical across every Parallelism and
+// ChunkRows setting.
+func NewPredictor(t *DecisionTree, opt PredictorOptions) (*Predictor, error) {
+	return predict.New(t, opt)
+}
 
 // Storage-resilience types (see DESIGN.md §10). Options.Budget shares one
 // spill budget across models; Options.FS swaps the filesystem the spill

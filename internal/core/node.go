@@ -109,11 +109,50 @@ func (t *Tree) newInternal(depth int, c *coarseCrit) *bnode {
 
 // skeletonFromCoarse converts the sampling phase's coarse tree into bnodes
 // (frontier positions become leaves) and then computes each internal
-// node's discretizations from the sample.
+// node's discretizations from the sample. Sample routing goes through a
+// compiled flat router (see compileCoarseRouter); the sample slice is
+// reordered in place by the partitioning.
 func (t *Tree) skeletonFromCoarse(cn *bootstrap.Node, sample []data.Tuple, depth int) *bnode {
 	n := t.buildSkeleton(cn, depth)
-	t.attachDiscretizations(n, cn, sample)
+	router, err := t.compileCoarseRouter(cn)
+	if err != nil {
+		// Unreachable for well-formed coarse trees; the scalar
+		// RouteSample fallback keeps the build correct regardless.
+		router = nil
+	}
+	var scratch []data.Tuple
+	if router != nil {
+		scratch = make([]data.Tuple, 0, len(sample))
+	}
+	t.attachDiscretizations(n, cn, router, 0, sample, scratch)
 	return n
+}
+
+// compileCoarseRouter projects the coarse tree's sample-routing predicates
+// onto the flat inference layout, so the skeleton phase partitions its
+// sample with the same compiled criteria the read path classifies with.
+// The projection is exact: RouteSample's numeric three-way test (v <= Lo
+// left, v > Hi right, otherwise v <= Median) collapses to v <= Median
+// because Lo <= Median <= Hi, and the categorical subset test is already
+// the flat predicate.
+func (t *Tree) compileCoarseRouter(cn *bootstrap.Node) (*tree.FlatTree, error) {
+	if cn == nil {
+		return nil, nil
+	}
+	var conv func(cn *bootstrap.Node) *tree.Node
+	conv = func(cn *bootstrap.Node) *tree.Node {
+		if cn == nil {
+			return &tree.Node{} // frontier position: routing stops here
+		}
+		crit := split.Split{Found: true, Attr: cn.Attr, Kind: cn.Kind}
+		if cn.Kind == data.Numeric {
+			crit.Threshold = cn.Median
+		} else {
+			crit.Subset = cn.Subset
+		}
+		return &tree.Node{Crit: crit, Left: conv(cn.Left), Right: conv(cn.Right)}
+	}
+	return tree.Compile(&tree.Tree{Schema: t.schema, Root: conv(cn)})
 }
 
 func (t *Tree) buildSkeleton(cn *bootstrap.Node, depth int) *bnode {
@@ -134,7 +173,9 @@ func (t *Tree) buildSkeleton(cn *bootstrap.Node, depth int) *bnode {
 // no bucket straddles the interval). Nodes with empty sample families get
 // trivial single-bucket histograms, whose loose bounds simply make
 // verification conservative.
-func (t *Tree) attachDiscretizations(n *bnode, cn *bootstrap.Node, sample []data.Tuple) {
+// The sample is partitioned in place (stably) at every level; id is n's
+// node id in the compiled router, whose shape mirrors the coarse tree.
+func (t *Tree) attachDiscretizations(n *bnode, cn *bootstrap.Node, router *tree.FlatTree, id int32, sample []data.Tuple, scratch []data.Tuple) {
 	if n.isLeaf() || cn == nil {
 		return
 	}
@@ -158,8 +199,29 @@ func (t *Tree) attachDiscretizations(n *bnode, cn *bootstrap.Node, sample []data
 			n.hist[i] = discretize.NewHistogram(bounds, t.schema.ClassCount)
 		}
 	}
-	// Partition the sample by the coarse routing and recurse.
+	// Partition the sample by the coarse routing and recurse. The stable
+	// in-place partition (lefts compacted forward, rights staged through
+	// the shared scratch) replaces the per-node append-grown slices: one
+	// scratch buffer for the whole skeleton instead of two fresh slices
+	// per internal node.
 	var leftS, rightS []data.Tuple
+	if router != nil {
+		w := 0
+		scratch = scratch[:0]
+		for _, tp := range sample {
+			if router.GoesLeft(id, tp) {
+				sample[w] = tp
+				w++
+			} else {
+				scratch = append(scratch, tp)
+			}
+		}
+		copy(sample[w:], scratch)
+		leftS, rightS = sample[:w], sample[w:]
+		t.attachDiscretizations(n.left, cn.Left, router, router.LeftChild(id), leftS, scratch)
+		t.attachDiscretizations(n.right, cn.Right, router, router.RightChild(id), rightS, scratch)
+		return
+	}
 	for _, tp := range sample {
 		if cn.RouteSample(tp) < 0 {
 			leftS = append(leftS, tp)
@@ -167,8 +229,8 @@ func (t *Tree) attachDiscretizations(n *bnode, cn *bootstrap.Node, sample []data
 			rightS = append(rightS, tp)
 		}
 	}
-	t.attachDiscretizations(n.left, cn.Left, leftS)
-	t.attachDiscretizations(n.right, cn.Right, rightS)
+	t.attachDiscretizations(n.left, cn.Left, nil, 0, leftS, nil)
+	t.attachDiscretizations(n.right, cn.Right, nil, 0, rightS, nil)
 }
 
 // crit returns the impurity criterion used for discretization and

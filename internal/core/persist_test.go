@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"github.com/boatml/boat/internal/gen"
 	"github.com/boatml/boat/internal/inmem"
 	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/tree"
 )
 
 func saveLoad(t *testing.T, bt *Tree, cfg Config) *Tree {
@@ -194,5 +196,56 @@ func TestSaveClosedTree(t *testing.T) {
 	var buf bytes.Buffer
 	if err := bt.Save(&buf); err == nil {
 		t.Error("saving a closed tree should fail")
+	}
+}
+
+// TestSaveFileLoadCompilePredict closes the serving loop over the model
+// persistence path: SaveFile -> LoadFile -> materialize -> Compile ->
+// ClassifyChunk must reproduce the original tree's predictions exactly.
+func TestSaveFileLoadCompilePredict(t *testing.T) {
+	cfg := Config{Method: split.NewGini(), MaxDepth: 6, MinSplit: 50, SampleSize: 1500, Seed: 5}
+	src := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, 6000, 1)
+	bt, err := Build(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	path := t.TempDir() + "/model.boatmodel"
+	if err := bt.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(f, bt.Schema(), cfg)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+
+	orig := bt.Tree()
+	flat, err := tree.Compile(loaded.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, data.DefaultChunkRows)
+	var row int
+	err = data.ForEachChunk(src, data.DefaultChunkRows, func(ch *data.Chunk) error {
+		flat.ClassifyChunk(ch, out)
+		for i := 0; i < ch.Len(); i++ {
+			if want := orig.Classify(ch.TupleCopy(i)); out[i] != want {
+				t.Fatalf("row %d: loaded+compiled predicts %d, original %d", row+i, out[i], want)
+			}
+		}
+		row += ch.Len()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row == 0 {
+		t.Fatal("no tuples compared")
 	}
 }

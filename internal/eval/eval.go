@@ -109,14 +109,24 @@ func (m *ConfusionMatrix) String() string {
 }
 
 // Evaluate scans src and fills a confusion matrix with the tree's
-// predictions.
+// predictions. The scan runs chunked through the compiled flat layout
+// (tree.Compile + ClassifyChunk) — the predictions are bit-identical to a
+// per-tuple Tree.Classify loop, but the batch kernel does the routing.
 func Evaluate(t *tree.Tree, src data.Source) (*ConfusionMatrix, error) {
 	if !t.Schema.Equal(src.Schema()) {
 		return nil, data.ErrSchemaMismatch
 	}
+	f, err := tree.Compile(t)
+	if err != nil {
+		return nil, err
+	}
 	m := NewConfusionMatrix(t.Schema.ClassCount)
-	err := data.ForEach(src, func(tp data.Tuple) error {
-		m.Add(tp.Class, t.Classify(tp))
+	out := make([]int, data.DefaultChunkRows)
+	err = data.ForEachChunk(src, data.DefaultChunkRows, func(ch *data.Chunk) error {
+		f.ClassifyChunk(ch, out)
+		for i, c := range ch.Classes() {
+			m.Add(int(c), out[i])
+		}
 		return nil
 	})
 	if err != nil {

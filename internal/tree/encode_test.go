@@ -83,3 +83,42 @@ func TestDecodeErrors(t *testing.T) {
 		}
 	})
 }
+
+// TestDecodeCompileChunkParity is the serialization half of the inference
+// path's exactness story: a tree round-tripped through the compact binary
+// encoding and recompiled into the flat layout must produce the same
+// chunked predictions as the original pointer tree.
+func TestDecodeCompileChunkParity(t *testing.T) {
+	orig := testTree()
+	raw, err := EncodeTree(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeTree(raw, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Compile(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := data.NewChunk(2, 64)
+	var want []int
+	for age := -10.0; age < 110; age += 7 {
+		for color := -1.0; color < 6; color++ {
+			if ch.Full() {
+				break
+			}
+			tp := data.Tuple{Values: []float64{age, color}}
+			ch.AppendTuple(tp)
+			want = append(want, orig.Classify(tp))
+		}
+	}
+	out := make([]int, ch.Len())
+	f.ClassifyChunk(ch, out)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("row %d: decoded+compiled = %d, original = %d", i, out[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,80 @@
+//go:build amd64
+
+package tree
+
+// The numeric partition — the hot loop of ClassifyChunk — has an AVX-512
+// form in flat_amd64.s: 16 rows per iteration, VCMPPD against the
+// broadcast threshold producing a 16-bit mask, and VPCOMPRESSD
+// compress-stores of the row indices into the left (mask) and right
+// (inverted mask) lists, cursors advanced by popcount. The comparison
+// predicate is LE_OQ, which is false when either operand is NaN — the
+// same "NaN routes right" semantics as the scalar `v <= th`, so the two
+// paths are bit-identical and the parity property test exercises both.
+//
+// Each kernel processes the largest multiple of 16 rows and returns the
+// two list lengths; the scalar loop in routeNode finishes the tail from
+// row n&^15 with the returned cursors. Compressed stores always write a
+// full 64-byte vector at the cursor: after j full blocks each cursor is
+// at most 16·j, so the store's last element lands at index < 16·(j+1) <=
+// n&^15 <= len(list) — in bounds without masking.
+
+// cpuid executes CPUID with the given leaf and subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0, the OS's enabled-extended-state mask.
+func xgetbv() (eax, edx uint32)
+
+// partitionSeqAVX512 partitions rows 0..(n&^15)-1 of a contiguous column
+// by v <= th, appending row numbers to left and right. Requires
+// useAVX512 and n >= 16; left and right must each hold n entries.
+func partitionSeqAVX512(col *float64, n int, th float64, left, right *int32) (nl, nr int)
+
+// partitionIdxAVX512 is the gather form: it partitions the rows named by
+// idx[0..(n&^15)-1], loading each row's value with a masked VGATHERDPD.
+// Every idx entry must be a valid row of col.
+func partitionIdxAVX512(col *float64, idx *int32, n int, th float64, left, right *int32) (nl, nr int)
+
+// partitionSubSeqAVX512 and partitionSubIdxAVX512 are the categorical
+// forms: the predicate is the subset-bit test (su >> code) & 1 with
+// out-of-range, negative, and NaN codes routing right, matching the
+// scalar loop bit for bit.
+func partitionSubSeqAVX512(col *float64, n int, su uint64, left, right *int32) (nl, nr int)
+
+func partitionSubIdxAVX512(col *float64, idx *int32, n int, su uint64, left, right *int32) (nl, nr int)
+
+// leafPairIdxAVX512 and leafPairSubIdxAVX512 vectorize the
+// both-children-are-leaves fast path: evaluate the predicate over the
+// gathered rows, blend the two leaf labels, and scatter them into out
+// (8-byte Go ints) — no partition lists, no recursion.
+func leafPairIdxAVX512(col *float64, idx *int32, n int, th float64, out *int, ll, rl int64)
+
+func leafPairSubIdxAVX512(col *float64, idx *int32, n int, su uint64, out *int, ll, rl int64)
+
+// useAVX512 gates the assembly kernels. It is a variable, not a
+// constant, so tests can force the scalar fallback and assert parity
+// between the two implementations on the same machine.
+var useAVX512 = detectAVX512()
+
+// detectAVX512 reports whether the CPU and the OS both support the
+// AVX-512 foundation instructions the kernels use (AVX512F covers
+// VCMPPD/VPCOMPRESSD/VGATHERDPD on zmm and the opmask ops).
+func detectAVX512() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if ecx1&osxsave == 0 {
+		return false
+	}
+	// XCR0 must enable XMM (bit 1), YMM (bit 2), and the three AVX-512
+	// state components: opmask (5), zmm hi256 (6), hi16 zmm (7).
+	lo, _ := xgetbv()
+	if lo&0xe6 != 0xe6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx512f = 1 << 16
+	return ebx7&avx512f != 0
+}

@@ -1,0 +1,365 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX-512 numeric partition kernels for FlatTree.routeNode. See
+// flat_amd64.go for the contract. Register plan shared by both kernels:
+//
+//	AX  column base          DX  left cursor (pointer)
+//	BX  index base (idx)     SI  right cursor (pointer)
+//	CX  remaining 16-row blocks
+//	R8  nl                   R9  nr
+//	R10 16-bit left mask     R12 popcount scratch
+//	Z0  row indices (16 x int32)
+//	Z2, Z3  row values (2 x 8 float64)
+//	Z9  broadcast threshold
+//
+// Per block: compare both value vectors against the threshold with
+// LE_OQ (imm 0x12 — ordered, non-signalling, false on NaN, true on an
+// exact threshold hit: the scalar `v <= th` bit for bit), splice the two
+// 8-bit masks into one 16-bit mask, then VPCOMPRESSD the index vector
+// through the mask into the left list and through its complement into
+// the right list. The full 64-byte stores intentionally overrun the
+// cursor; the Go-side contract guarantees they stay inside the lists.
+
+// iota16 is the row-index seed 0..15 for the sequential kernel.
+DATA iota16<>+0x00(SB)/4, $0
+DATA iota16<>+0x04(SB)/4, $1
+DATA iota16<>+0x08(SB)/4, $2
+DATA iota16<>+0x0c(SB)/4, $3
+DATA iota16<>+0x10(SB)/4, $4
+DATA iota16<>+0x14(SB)/4, $5
+DATA iota16<>+0x18(SB)/4, $6
+DATA iota16<>+0x1c(SB)/4, $7
+DATA iota16<>+0x20(SB)/4, $8
+DATA iota16<>+0x24(SB)/4, $9
+DATA iota16<>+0x28(SB)/4, $10
+DATA iota16<>+0x2c(SB)/4, $11
+DATA iota16<>+0x30(SB)/4, $12
+DATA iota16<>+0x34(SB)/4, $13
+DATA iota16<>+0x38(SB)/4, $14
+DATA iota16<>+0x3c(SB)/4, $15
+GLOBL iota16<>(SB), RODATA|NOPTR, $64
+
+DATA sixteen<>+0(SB)/4, $16
+GLOBL sixteen<>(SB), RODATA|NOPTR, $4
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func partitionSeqAVX512(col *float64, n int, th float64, left, right *int32) (nl, nr int)
+TEXT ·partitionSeqAVX512(SB), NOSPLIT, $0-56
+	MOVQ col+0(FP), AX
+	MOVQ n+8(FP), CX
+	SHRQ $4, CX
+	MOVQ left+24(FP), DX
+	MOVQ right+32(FP), SI
+	VBROADCASTSD th+16(FP), Z9
+	VMOVDQU32 iota16<>(SB), Z0
+	VPBROADCASTD sixteen<>(SB), Z8
+	XORQ R8, R8
+	XORQ R9, R9
+	TESTQ CX, CX
+	JZ seqdone
+
+seqloop:
+	VMOVUPD (AX), Z2
+	VMOVUPD 64(AX), Z3
+	VCMPPD $0x12, Z9, Z2, K3
+	VCMPPD $0x12, Z9, Z3, K4
+	KUNPCKBW K3, K4, K5
+	KNOTW K5, K6
+	KMOVW K5, R10
+	VPCOMPRESSD Z0, K5, Z1
+	VMOVDQU32 Z1, (DX)
+	VPCOMPRESSD Z0, K6, Z4
+	VMOVDQU32 Z4, (SI)
+	POPCNTL R10, R12
+	LEAQ (DX)(R12*4), DX
+	ADDQ R12, R8
+	MOVQ $16, R13
+	SUBQ R12, R13
+	LEAQ (SI)(R13*4), SI
+	ADDQ R13, R9
+	VPADDD Z8, Z0, Z0
+	ADDQ $128, AX
+	DECQ CX
+	JNZ seqloop
+
+seqdone:
+	MOVQ R8, nl+40(FP)
+	MOVQ R9, nr+48(FP)
+	VZEROUPPER
+	RET
+
+// func partitionIdxAVX512(col *float64, idx *int32, n int, th float64, left, right *int32) (nl, nr int)
+TEXT ·partitionIdxAVX512(SB), NOSPLIT, $0-64
+	MOVQ col+0(FP), AX
+	MOVQ idx+8(FP), BX
+	MOVQ n+16(FP), CX
+	SHRQ $4, CX
+	MOVQ left+32(FP), DX
+	MOVQ right+40(FP), SI
+	VBROADCASTSD th+24(FP), Z9
+	XORQ R8, R8
+	XORQ R9, R9
+	TESTQ CX, CX
+	JZ idxdone
+
+idxloop:
+	VMOVDQU32 (BX), Z0
+	VEXTRACTI64X4 $1, Z0, Y1
+	// VGATHERDPD consumes its mask register; rebuild the all-ones mask
+	// before each gather.
+	KXNORW K1, K1, K1
+	VGATHERDPD (AX)(Y0*8), K1, Z2
+	KXNORW K2, K2, K2
+	VGATHERDPD (AX)(Y1*8), K2, Z3
+	VCMPPD $0x12, Z9, Z2, K3
+	VCMPPD $0x12, Z9, Z3, K4
+	KUNPCKBW K3, K4, K5
+	KNOTW K5, K6
+	KMOVW K5, R10
+	VPCOMPRESSD Z0, K5, Z1
+	VMOVDQU32 Z1, (DX)
+	VPCOMPRESSD Z0, K6, Z4
+	VMOVDQU32 Z4, (SI)
+	POPCNTL R10, R12
+	LEAQ (DX)(R12*4), DX
+	ADDQ R12, R8
+	MOVQ $16, R13
+	SUBQ R12, R13
+	LEAQ (SI)(R13*4), SI
+	ADDQ R13, R9
+	ADDQ $64, BX
+	DECQ CX
+	JNZ idxloop
+
+idxdone:
+	MOVQ R8, nl+48(FP)
+	MOVQ R9, nr+56(FP)
+	VZEROUPPER
+	RET
+
+DATA oneq<>+0(SB)/8, $1
+GLOBL oneq<>(SB), RODATA|NOPTR, $8
+
+// The subset (categorical) kernels share the numeric kernels' shape;
+// only the predicate differs. Codes arrive as float64: truncate to
+// int32 (NaN and out-of-range convert to INT32_MIN), sign-extend to
+// qwords, and compute (subset >> code) & 1 with VPSRLVQ + VPTESTMQ.
+// VPSRLVQ writes 0 for any shift count above 63, and negative or NaN
+// codes become huge unsigned counts, so every out-of-range code drops
+// out of the subset and routes right — the scalar loop's `code > 63`
+// guard for free.
+
+// func partitionSubSeqAVX512(col *float64, n int, su uint64, left, right *int32) (nl, nr int)
+TEXT ·partitionSubSeqAVX512(SB), NOSPLIT, $0-56
+	MOVQ col+0(FP), AX
+	MOVQ n+8(FP), CX
+	SHRQ $4, CX
+	MOVQ left+24(FP), DX
+	MOVQ right+32(FP), SI
+	VPBROADCASTQ su+16(FP), Z8
+	VPBROADCASTQ oneq<>(SB), Z7
+	VMOVDQU32 iota16<>(SB), Z0
+	VPBROADCASTD sixteen<>(SB), Z6
+	XORQ R8, R8
+	XORQ R9, R9
+	TESTQ CX, CX
+	JZ subseqdone
+
+subseqloop:
+	VMOVUPD (AX), Z2
+	VMOVUPD 64(AX), Z3
+	VCVTTPD2DQ Z2, Y10
+	VCVTTPD2DQ Z3, Y11
+	VPMOVSXDQ Y10, Z10
+	VPMOVSXDQ Y11, Z11
+	VPSRLVQ Z10, Z8, Z12
+	VPSRLVQ Z11, Z8, Z13
+	VPTESTMQ Z7, Z12, K3
+	VPTESTMQ Z7, Z13, K4
+	KUNPCKBW K3, K4, K5
+	KNOTW K5, K6
+	KMOVW K5, R10
+	VPCOMPRESSD Z0, K5, Z1
+	VMOVDQU32 Z1, (DX)
+	VPCOMPRESSD Z0, K6, Z4
+	VMOVDQU32 Z4, (SI)
+	POPCNTL R10, R12
+	LEAQ (DX)(R12*4), DX
+	ADDQ R12, R8
+	MOVQ $16, R13
+	SUBQ R12, R13
+	LEAQ (SI)(R13*4), SI
+	ADDQ R13, R9
+	VPADDD Z6, Z0, Z0
+	ADDQ $128, AX
+	DECQ CX
+	JNZ subseqloop
+
+subseqdone:
+	MOVQ R8, nl+40(FP)
+	MOVQ R9, nr+48(FP)
+	VZEROUPPER
+	RET
+
+// func partitionSubIdxAVX512(col *float64, idx *int32, n int, su uint64, left, right *int32) (nl, nr int)
+TEXT ·partitionSubIdxAVX512(SB), NOSPLIT, $0-64
+	MOVQ col+0(FP), AX
+	MOVQ idx+8(FP), BX
+	MOVQ n+16(FP), CX
+	SHRQ $4, CX
+	MOVQ left+32(FP), DX
+	MOVQ right+40(FP), SI
+	VPBROADCASTQ su+24(FP), Z8
+	VPBROADCASTQ oneq<>(SB), Z7
+	XORQ R8, R8
+	XORQ R9, R9
+	TESTQ CX, CX
+	JZ subidxdone
+
+subidxloop:
+	VMOVDQU32 (BX), Z0
+	VEXTRACTI64X4 $1, Z0, Y1
+	KXNORW K1, K1, K1
+	VGATHERDPD (AX)(Y0*8), K1, Z2
+	KXNORW K2, K2, K2
+	VGATHERDPD (AX)(Y1*8), K2, Z3
+	VCVTTPD2DQ Z2, Y10
+	VCVTTPD2DQ Z3, Y11
+	VPMOVSXDQ Y10, Z10
+	VPMOVSXDQ Y11, Z11
+	VPSRLVQ Z10, Z8, Z12
+	VPSRLVQ Z11, Z8, Z13
+	VPTESTMQ Z7, Z12, K3
+	VPTESTMQ Z7, Z13, K4
+	KUNPCKBW K3, K4, K5
+	KNOTW K5, K6
+	KMOVW K5, R10
+	VPCOMPRESSD Z0, K5, Z1
+	VMOVDQU32 Z1, (DX)
+	VPCOMPRESSD Z0, K6, Z4
+	VMOVDQU32 Z4, (SI)
+	POPCNTL R10, R12
+	LEAQ (DX)(R12*4), DX
+	ADDQ R12, R8
+	MOVQ $16, R13
+	SUBQ R12, R13
+	LEAQ (SI)(R13*4), SI
+	ADDQ R13, R9
+	ADDQ $64, BX
+	DECQ CX
+	JNZ subidxloop
+
+subidxdone:
+	MOVQ R8, nl+48(FP)
+	MOVQ R9, nr+56(FP)
+	VZEROUPPER
+	RET
+
+// The leaf-pair kernels vectorize routeNode's both-children-are-leaves
+// fast path: evaluate the predicate, merge-blend the two label
+// broadcasts, and scatter the labels straight into out — no partition
+// lists, no recursion. out elements are Go ints (8 bytes), so the
+// scatter is VPSCATTERDQ with the dword row indices scaled by 8.
+
+// func leafPairIdxAVX512(col *float64, idx *int32, n int, th float64, out *int, ll, rl int64)
+TEXT ·leafPairIdxAVX512(SB), NOSPLIT, $0-56
+	MOVQ col+0(FP), AX
+	MOVQ idx+8(FP), BX
+	MOVQ n+16(FP), CX
+	SHRQ $4, CX
+	MOVQ out+32(FP), DI
+	VBROADCASTSD th+24(FP), Z9
+	VPBROADCASTQ ll+40(FP), Z10
+	VPBROADCASTQ rl+48(FP), Z11
+	TESTQ CX, CX
+	JZ lpidxdone
+
+lpidxloop:
+	VMOVDQU32 (BX), Z0
+	VEXTRACTI64X4 $1, Z0, Y1
+	KXNORW K1, K1, K1
+	VGATHERDPD (AX)(Y0*8), K1, Z2
+	KXNORW K2, K2, K2
+	VGATHERDPD (AX)(Y1*8), K2, Z3
+	VCMPPD $0x12, Z9, Z2, K3
+	VCMPPD $0x12, Z9, Z3, K4
+	VMOVDQA64 Z11, Z5
+	VMOVDQA64 Z10, K3, Z5
+	VMOVDQA64 Z11, Z6
+	VMOVDQA64 Z10, K4, Z6
+	KXNORW K5, K5, K5
+	VPSCATTERDQ Z5, K5, (DI)(Y0*8)
+	KXNORW K6, K6, K6
+	VPSCATTERDQ Z6, K6, (DI)(Y1*8)
+	ADDQ $64, BX
+	DECQ CX
+	JNZ lpidxloop
+
+lpidxdone:
+	VZEROUPPER
+	RET
+
+// func leafPairSubIdxAVX512(col *float64, idx *int32, n int, su uint64, out *int, ll, rl int64)
+TEXT ·leafPairSubIdxAVX512(SB), NOSPLIT, $0-56
+	MOVQ col+0(FP), AX
+	MOVQ idx+8(FP), BX
+	MOVQ n+16(FP), CX
+	SHRQ $4, CX
+	MOVQ out+32(FP), DI
+	VPBROADCASTQ su+24(FP), Z8
+	VPBROADCASTQ oneq<>(SB), Z7
+	VPBROADCASTQ ll+40(FP), Z10
+	VPBROADCASTQ rl+48(FP), Z11
+	TESTQ CX, CX
+	JZ lpsubdone
+
+lpsubloop:
+	VMOVDQU32 (BX), Z0
+	VEXTRACTI64X4 $1, Z0, Y1
+	KXNORW K1, K1, K1
+	VGATHERDPD (AX)(Y0*8), K1, Z2
+	KXNORW K2, K2, K2
+	VGATHERDPD (AX)(Y1*8), K2, Z3
+	VCVTTPD2DQ Z2, Y12
+	VCVTTPD2DQ Z3, Y13
+	VPMOVSXDQ Y12, Z12
+	VPMOVSXDQ Y13, Z13
+	VPSRLVQ Z12, Z8, Z12
+	VPSRLVQ Z13, Z8, Z13
+	VPTESTMQ Z7, Z12, K3
+	VPTESTMQ Z7, Z13, K4
+	VMOVDQA64 Z11, Z5
+	VMOVDQA64 Z10, K3, Z5
+	VMOVDQA64 Z11, Z6
+	VMOVDQA64 Z10, K4, Z6
+	KXNORW K5, K5, K5
+	VPSCATTERDQ Z5, K5, (DI)(Y0*8)
+	KXNORW K6, K6, K6
+	VPSCATTERDQ Z6, K6, (DI)(Y1*8)
+	ADDQ $64, BX
+	DECQ CX
+	JNZ lpsubloop
+
+lpsubdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,50 @@
+//go:build amd64
+
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+)
+
+// TestPartitionKernelsMatchScalar cross-validates the AVX-512 partition
+// and leaf-pair kernels against the scalar loops on the same machine:
+// classify identical chunks with the kernels disabled and enabled, and
+// require bit-identical labels. The random trees and tuples reuse the
+// parity property's generators, so the kernels see categorical subsets,
+// NaN and infinite numerics, and out-of-range codes, and the batch sizes
+// cover both the 16-row vector blocks and the scalar tails.
+func TestPartitionKernelsMatchScalar(t *testing.T) {
+	if !useAVX512 {
+		t.Skip("machine has no AVX-512; scalar path is the only path")
+	}
+	defer func() { useAVX512 = true }()
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 25; trial++ {
+		schema := randomSchema(rng)
+		tr := randomTree(rng, schema, 2+rng.Intn(8))
+		f, err := Compile(tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		n := 64 + rng.Intn(4000)
+		ch := data.NewChunk(len(schema.Attributes), n)
+		for i := 0; i < n; i++ {
+			ch.AppendTuple(randomTuple(rng, schema))
+		}
+		want := make([]int, n)
+		got := make([]int, n)
+		useAVX512 = false
+		f.ClassifyChunk(ch, want)
+		useAVX512 = true
+		f.ClassifyChunk(ch, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d row %d: AVX-512 path = %d, scalar path = %d\ntree:\n%s",
+					trial, i, got[i], want[i], tr)
+			}
+		}
+	}
+}

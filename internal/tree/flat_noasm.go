@@ -1,0 +1,33 @@
+//go:build !amd64
+
+package tree
+
+// Non-amd64 builds always take the scalar partition loops; the stubs
+// exist only to keep routeNode's call sites compiling and are
+// unreachable behind useAVX512 == false.
+
+const useAVX512 = false
+
+func partitionSeqAVX512(col *float64, n int, th float64, left, right *int32) (nl, nr int) {
+	panic("tree: partitionSeqAVX512 without AVX-512")
+}
+
+func partitionIdxAVX512(col *float64, idx *int32, n int, th float64, left, right *int32) (nl, nr int) {
+	panic("tree: partitionIdxAVX512 without AVX-512")
+}
+
+func partitionSubSeqAVX512(col *float64, n int, su uint64, left, right *int32) (nl, nr int) {
+	panic("tree: partitionSubSeqAVX512 without AVX-512")
+}
+
+func partitionSubIdxAVX512(col *float64, idx *int32, n int, su uint64, left, right *int32) (nl, nr int) {
+	panic("tree: partitionSubIdxAVX512 without AVX-512")
+}
+
+func leafPairIdxAVX512(col *float64, idx *int32, n int, th float64, out *int, ll, rl int64) {
+	panic("tree: leafPairIdxAVX512 without AVX-512")
+}
+
+func leafPairSubIdxAVX512(col *float64, idx *int32, n int, su uint64, out *int, ll, rl int64) {
+	panic("tree: leafPairSubIdxAVX512 without AVX-512")
+}

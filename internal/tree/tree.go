@@ -61,14 +61,25 @@ func (t *Tree) Leaf(tp data.Tuple) *Node {
 }
 
 // MisclassificationRate scans src and returns the fraction of tuples whose
-// label the tree predicts incorrectly.
+// label the tree predicts incorrectly. The scan runs through the compiled
+// flat layout and the chunked kernel — same predictions as a per-tuple
+// Classify loop, a fraction of the cost.
 func (t *Tree) MisclassificationRate(src data.Source) (float64, error) {
+	f, err := Compile(t)
+	if err != nil {
+		return 0, err
+	}
 	var n, wrong int64
-	err := data.ForEach(src, func(tp data.Tuple) error {
-		n++
-		if t.Classify(tp) != tp.Class {
-			wrong++
+	out := make([]int, data.DefaultChunkRows)
+	err = data.ForEachChunk(src, data.DefaultChunkRows, func(ch *data.Chunk) error {
+		f.ClassifyChunk(ch, out)
+		classes := ch.Classes()
+		for i, c := range classes {
+			if out[i] != int(c) {
+				wrong++
+			}
 		}
+		n += int64(len(classes))
 		return nil
 	})
 	if err != nil {

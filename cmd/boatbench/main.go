@@ -15,6 +15,7 @@
 //	boatbench -experiment all -unit 50000 -files
 //	boatbench -experiment fig12
 //	boatbench -benchjson BENCH_scan.json
+//	boatbench -updatejson BENCH_update.json
 //	boatbench -experiment fig4 -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -29,6 +30,7 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
+	"time"
 
 	"github.com/boatml/boat/internal/core"
 	"github.com/boatml/boat/internal/data"
@@ -103,6 +105,9 @@ func main() {
 
 		predictJSON = flag.String("predictjson", "", "run the classification micro-benchmark (per-tuple pointer walk vs flat walk vs chunked kernel vs parallel predictor on the Fig-4/F1 workload, depth >= 8) and write measurements to this JSON file instead of a figure")
 
+		updateJSON   = flag.String("updatejson", "", "run the streaming-update micro-benchmark (row-at-a-time baseline vs columnar chunk router on the sliding-window dynamic-environment workload) and write measurements to this JSON file instead of a figure")
+		updateRounds = flag.Int("updaterounds", 30, "insert+delete rounds per mode for -updatejson")
+
 		metricsJSON = flag.String("metricsjson", "", `write the accumulated BOAT metrics registry as JSON to this file ("-" = stdout)`)
 		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
 		logLevel    = flag.String("loglevel", "info", "log level: debug | info | warn | error")
@@ -130,6 +135,7 @@ func main() {
 		faults: *faults, faultBuilds: *faultBuilds, faultSeed: *faultSeed,
 		benchJSON: *benchJSON, benchTuples: *benchTuples, benchRounds: *benchRounds,
 		predictJSON: *predictJSON,
+		updateJSON:  *updateJSON, updateRounds: *updateRounds,
 		metricsJSON: *metricsJSON,
 	})
 	stopProfiles()
@@ -218,6 +224,9 @@ type mainConfig struct {
 	benchRounds int
 	predictJSON string
 
+	updateJSON   string
+	updateRounds int
+
 	metricsJSON string
 }
 
@@ -250,6 +259,14 @@ func run(mc mainConfig) int {
 
 	if mc.predictJSON != "" {
 		code := runPredictBench(mc, m, metrics)
+		if code == 0 {
+			code = dumpMetrics(metrics, mc.metricsJSON)
+		}
+		return code
+	}
+
+	if mc.updateJSON != "" {
+		code := runUpdateBench(mc, m, metrics)
 		if code == 0 {
 			code = dumpMetrics(metrics, mc.metricsJSON)
 		}
@@ -486,6 +503,163 @@ func runScanBench(mc mainConfig, m split.Method, metrics *obs.Registry) int {
 		return fail(err)
 	}
 	fmt.Printf("wrote %s\n", mc.benchJSON)
+	return 0
+}
+
+// updateMeasurement is one mode's result in an -updatejson report.
+type updateMeasurement struct {
+	Mode            string  `json:"mode"`
+	Seconds         float64 `json:"seconds"`
+	TuplesPerSec    float64 `json:"tuples_per_sec"`
+	AllocsPerTuple  float64 `json:"allocs_per_tuple"`
+	Chunks          int64   `json:"chunks"`
+	RebuiltSubtrees int64   `json:"rebuilt_subtrees"`
+	RefittedLeaves  int64   `json:"refitted_leaves"`
+	MigratedTuples  int64   `json:"migrated_tuples"`
+}
+
+// updateBenchReport is the JSON document -updatejson writes: one
+// measurement per update mode on the identical sliding-window workload,
+// the chunked-vs-row headline ratio, and the run's provenance.
+type updateBenchReport struct {
+	Workload       string              `json:"workload"`
+	BaseTuples     int64               `json:"base_tuples"`
+	ChunkTuples    int64               `json:"chunk_tuples"`
+	Window         int                 `json:"window"`
+	Slots          int                 `json:"slots"`
+	Rounds         int                 `json:"rounds"`
+	GOMAXPROCS     int                 `json:"gomaxprocs"`
+	Config         benchProvenance     `json:"config"`
+	Modes          []updateMeasurement `json:"modes"`
+	ChunkedSpeedup float64             `json:"chunked_speedup_vs_row"`
+}
+
+// runUpdateBench times sustained sliding-window maintenance — the
+// boatstream workload: every round inserts the newest chunk and deletes
+// the expired one, holding the tree's net size constant — once with the
+// row-at-a-time baseline (Config.RowUpdates) and once with the columnar
+// chunk router, and writes the measurements as JSON. Both modes replay
+// the identical pre-generated chunk sequence against identically built
+// trees; the maintained trees are guaranteed bit-identical either way
+// (TestUpdateChunkedMatchesRow), so the comparison isolates update-path
+// mechanics.
+func runUpdateBench(mc mainConfig, m split.Method, metrics *obs.Registry) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "boatbench: updatejson: %v\n", err)
+		return 1
+	}
+	const (
+		baseTuples  = 40_000
+		chunkTuples = 10_000
+		window      = 3
+		slots       = 2 * window
+	)
+	rounds := mc.updateRounds
+	fmt.Printf("=== streaming-update benchmark: sliding window %d x %d tuples over %d base, %d rounds/mode ===\n",
+		window, chunkTuples, baseTuples, rounds)
+	base := gen.MustSource(gen.Config{Function: 1}, baseTuples, mc.seed)
+	chunks := make([]data.Source, slots)
+	for i := range chunks {
+		chunks[i] = gen.MustSource(gen.Config{Function: 1}, chunkTuples, mc.seed+int64(10+i))
+	}
+
+	sha, modified := gitRevision()
+	rep := updateBenchReport{
+		Workload: "sliding-window-f1", BaseTuples: baseTuples,
+		ChunkTuples: chunkTuples, Window: window, Slots: slots,
+		Rounds: rounds, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config: benchProvenance{
+			Parallelism:   mc.para,
+			ScanChunkRows: data.DefaultChunkRows,
+			Method:        m.Name(),
+			Seed:          mc.seed,
+			GoVersion:     runtime.Version(),
+			GitSHA:        sha,
+			GitModified:   modified,
+		},
+	}
+	byMode := map[string]updateMeasurement{}
+	for _, mode := range []struct {
+		name string
+		row  bool
+	}{{"row", true}, {"chunked", false}} {
+		bt, err := core.Build(base, core.Config{
+			Method: m, StopThreshold: 4000, StopAtThreshold: true,
+			SampleSize: 8000, BootstrapTrees: 5, Seed: mc.seed,
+			TempDir: mc.dir, Parallelism: mc.para, RowUpdates: mode.row,
+			Metrics: metrics, Logger: mc.logger,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		var total core.UpdateStats
+		add := func(u core.UpdateStats) {
+			total.Chunks += u.Chunks
+			total.RebuiltSubtrees += u.RebuiltSubtrees
+			total.RefittedLeaves += u.RefittedLeaves
+			total.MigratedTuples += u.MigratedTuples
+		}
+		for i := 0; i < window; i++ {
+			if _, err := bt.Insert(chunks[i]); err != nil {
+				bt.Close()
+				return fail(err)
+			}
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			ins, err := bt.Insert(chunks[(window+r)%slots])
+			if err != nil {
+				bt.Close()
+				return fail(err)
+			}
+			del, err := bt.Delete(chunks[r%slots])
+			if err != nil {
+				bt.Close()
+				return fail(err)
+			}
+			add(ins)
+			add(del)
+		}
+		seconds := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		bt.Close()
+		streamed := float64(rounds) * 2 * chunkTuples
+		meas := updateMeasurement{
+			Mode: mode.name, Seconds: seconds,
+			Chunks:          total.Chunks,
+			RebuiltSubtrees: total.RebuiltSubtrees,
+			RefittedLeaves:  total.RefittedLeaves,
+			MigratedTuples:  total.MigratedTuples,
+		}
+		if seconds > 0 {
+			meas.TuplesPerSec = streamed / seconds
+		}
+		if streamed > 0 {
+			meas.AllocsPerTuple = float64(after.Mallocs-before.Mallocs) / streamed
+		}
+		rep.Modes = append(rep.Modes, meas)
+		byMode[mode.name] = meas
+		fmt.Printf("%-8s %12.0f tuples/sec  %10.3f allocs/tuple  rebuilt=%d refitted=%d\n",
+			meas.Mode, meas.TuplesPerSec, meas.AllocsPerTuple,
+			meas.RebuiltSubtrees, meas.RefittedLeaves)
+	}
+	row, chunked := byMode["row"], byMode["chunked"]
+	if row.TuplesPerSec > 0 {
+		rep.ChunkedSpeedup = chunked.TuplesPerSec / row.TuplesPerSec
+	}
+	fmt.Printf("chunked vs row: %.2fx tuples/sec\n", rep.ChunkedSpeedup)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.WriteFile(mc.updateJSON, append(out, '\n'), 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("wrote %s\n", mc.updateJSON)
 	return 0
 }
 

@@ -22,6 +22,16 @@ import (
 // possible (Section 4). Obtain one with Build; materialize the plain
 // decision tree with Tree(); update it with Insert and Delete; release its
 // temporary resources with Close.
+//
+// Concurrency contract: Insert, Delete, Tree, Snapshot, Close and
+// CheckConsistency are safe for concurrent use — all tree mutation is
+// serialized on an internal update mutex, and concurrent Insert/Delete
+// calls simply queue (each applies its full chunk atomically with respect
+// to the others). Snapshot's fast path is lock-free: once a snapshot of
+// the current epoch has been published, readers load it from an atomic
+// pointer without contending with in-flight updates, and keep serving the
+// last consistent epoch until the next update completes. BuildStats and
+// Schema are likewise safe to call at any time.
 type Tree struct {
 	cfg    Config
 	schema *data.Schema
@@ -41,6 +51,21 @@ type Tree struct {
 	// upd accumulates counters for the update pass in progress (guarded
 	// by statsMu while worker goroutines are live).
 	upd *UpdateStats
+
+	// updateMu serializes all structural mutation and inspection of the
+	// tree after Build: Insert/Delete (the whole update, scan through
+	// verification), Tree(), the Snapshot slow path, Close and
+	// CheckConsistency. Build itself runs before the Tree is shared, so it
+	// does not take it.
+	updateMu sync.Mutex
+	// updScratch is the chunk router's per-level partition scratch, reused
+	// across updates (guarded by updateMu).
+	updScratch *routeScratch
+	// epoch counts completed updates; snap caches the published snapshot
+	// of the epoch it carries. Readers serve snap lock-free and detect
+	// staleness by comparing epochs (see Snapshot).
+	epoch atomic.Uint64
+	snap  atomic.Pointer[Snapshot]
 
 	// seedCounter derives distinct bootstrap seeds for rebuilds; atomic
 	// because concurrent frontier rebuilds each draw fresh seeds. The
@@ -255,9 +280,66 @@ func (t *Tree) BuildStats() BuildStats {
 
 // Tree materializes the current decision tree. The result is a plain
 // value: later Insert/Delete calls do not mutate previously returned
-// trees.
+// trees. Safe for concurrent use (serializes with in-flight updates).
 func (t *Tree) Tree() *tree.Tree {
+	t.updateMu.Lock()
+	defer t.updateMu.Unlock()
 	return &tree.Tree{Schema: t.schema, Root: materialize(t.root)}
+}
+
+// Snapshot is an immutable, consistent view of the tree as of one update
+// epoch: the materialized decision tree plus its compiled flat form for
+// batched inference. Snapshots are never mutated after publication;
+// holders may keep serving from one for as long as they like.
+type Snapshot struct {
+	// Epoch identifies the update generation: it starts at 0 after Build
+	// and increments once per completed Insert or Delete.
+	Epoch uint64
+	// Tree is the materialized decision tree of this epoch.
+	Tree *tree.Tree
+	// Flat is the compiled (SoA) form of Tree, for the columnar inference
+	// path.
+	Flat *tree.FlatTree
+}
+
+// Snapshot returns the current epoch's immutable snapshot, publishing one
+// if none exists yet. The fast path is lock-free: once a snapshot of the
+// current epoch is published, concurrent callers load it from an atomic
+// pointer without blocking — in particular, while an Insert or Delete is
+// in flight, Snapshot keeps returning the last consistent epoch. After
+// serving has started (any successful Snapshot call), completed updates
+// republish eagerly, so readers flip to new epochs without paying the
+// materialization cost themselves.
+func (t *Tree) Snapshot() (*Snapshot, error) {
+	if s := t.snap.Load(); s != nil && s.Epoch == t.epoch.Load() {
+		return s, nil
+	}
+	t.updateMu.Lock()
+	defer t.updateMu.Unlock()
+	return t.publishLocked()
+}
+
+// publishLocked materializes and compiles the current tree and stores it
+// as the published snapshot. Callers must hold updateMu.
+func (t *Tree) publishLocked() (*Snapshot, error) {
+	if t.root == nil {
+		return nil, fmt.Errorf("core: closed tree")
+	}
+	// Re-check under the lock: a concurrent Snapshot call (or the update
+	// that just finished) may have published this epoch already.
+	epoch := t.epoch.Load()
+	if s := t.snap.Load(); s != nil && s.Epoch == epoch {
+		return s, nil
+	}
+	mt := &tree.Tree{Schema: t.schema, Root: materialize(t.root)}
+	flat, err := tree.Compile(mt)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling snapshot: %w", err)
+	}
+	s := &Snapshot{Epoch: epoch, Tree: mt, Flat: flat}
+	t.snap.Store(s)
+	t.met.epochSwaps.Inc()
+	return s, nil
 }
 
 func materialize(n *bnode) *tree.Node {
@@ -298,15 +380,23 @@ func cloneTreeNode(n *tree.Node) *tree.Node {
 	}
 }
 
-// Close releases all temporary resources (spill files, buffers).
+// Close releases all temporary resources (spill files, buffers). Further
+// updates and Snapshot calls fail, but snapshots handed out earlier stay
+// valid — they hold no tree resources, so readers already serving from
+// one are unaffected.
 func (t *Tree) Close() error {
+	t.updateMu.Lock()
+	defer t.updateMu.Unlock()
 	closeSubtree(t.root)
 	t.root = nil
+	t.snap.Store(nil)
 	return nil
 }
 
 // CheckConsistency validates internal invariants (used by tests).
 func (t *Tree) CheckConsistency() error {
+	t.updateMu.Lock()
+	defer t.updateMu.Unlock()
 	if t.root == nil {
 		return fmt.Errorf("core: closed tree")
 	}

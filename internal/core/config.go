@@ -123,6 +123,13 @@ type Config struct {
 	// stream is cut into chunks.
 	ScanChunkRows int
 
+	// RowUpdates forces Insert and Delete onto the row-at-a-time baseline
+	// (one root-to-stick descent per tuple) instead of the default columnar
+	// chunk router. The resulting tree is bit-identical either way — the
+	// flag exists as the cross-check and benchmark baseline for the chunked
+	// path (see BenchmarkUpdate and TestUpdateChunkedMatchesRow).
+	RowUpdates bool
+
 	// Parallelism is the number of worker goroutines used by the three
 	// build phases: bootstrap-tree growth, the sharded cleanup scan, and
 	// the completion of independent leaves after top-down processing.
@@ -266,6 +273,9 @@ type BuildStats struct {
 type UpdateStats struct {
 	// TuplesSeen is the chunk size streamed down the tree.
 	TuplesSeen int64
+	// Chunks is the number of columnar batches the update was streamed in
+	// (0 on the row-at-a-time baseline path).
+	Chunks int64
 	// RebuiltSubtrees counts nodes whose coarse criterion was invalidated
 	// by the update (distribution change), rebuilding their subtree.
 	RebuiltSubtrees int64

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/iostats"
@@ -18,6 +19,10 @@ import (
 // training database is never re-read unless a coarse criterion is
 // invalidated, in which case the affected subtree is rebuilt from the
 // buffers the tree maintains.
+//
+// Insert is safe for concurrent use: updates are serialized on the tree's
+// update mutex (see the concurrency contract on Tree), and predictions
+// keep serving the last published Snapshot while the update is in flight.
 func (t *Tree) Insert(chunk data.Source) (UpdateStats, error) {
 	return t.update(chunk, +1)
 }
@@ -27,12 +32,15 @@ func (t *Tree) Insert(chunk data.Source) (UpdateStats, error) {
 // symmetrically to Insert: counts are decremented, stuck and stored
 // tuples are removed, and the verification pass rebuilds whatever the
 // deletions invalidated. The result is guaranteed identical to rebuilding
-// from scratch on D minus the chunk.
+// from scratch on D minus the chunk. Like Insert, Delete serializes on
+// the update mutex and is safe for concurrent use.
 func (t *Tree) Delete(chunk data.Source) (UpdateStats, error) {
 	return t.update(chunk, -1)
 }
 
 func (t *Tree) update(chunk data.Source, w int64) (UpdateStats, error) {
+	t.updateMu.Lock()
+	defer t.updateMu.Unlock()
 	if t.root == nil {
 		return UpdateStats{}, errors.New("core: tree is closed")
 	}
@@ -55,14 +63,36 @@ func (t *Tree) update(chunk data.Source, w int64) (UpdateStats, error) {
 	}
 	updSpan := t.cfg.Trace.Start(name)
 	defer updSpan.End()
+	start := time.Now()
 
+	// Route the chunk down the tree: columnar batches through the chunk
+	// router by default, one descent per tuple when the row baseline is
+	// forced. Both paths update the same statistics with the same signed
+	// weight and fill the same buffers in stream order, so the trees they
+	// leave behind are bit-identical.
 	tracked := iostats.Tracked(chunk, t.cfg.Stats)
 	routeSpan := updSpan.Start("route-chunk")
-	err := data.ForEach(tracked, func(tp data.Tuple) error {
-		upd.TuplesSeen++
-		return t.route(t.root, tp, w)
-	})
+	var err error
+	if t.cfg.RowUpdates {
+		routeSpan.SetAttr("mode", "row")
+		err = data.ForEach(tracked, func(tp data.Tuple) error {
+			upd.TuplesSeen++
+			return t.route(t.root, tp, w)
+		})
+	} else {
+		routeSpan.SetAttr("mode", "chunked")
+		rows := t.cfg.chunkRows()
+		if t.updScratch == nil {
+			t.updScratch = newRouteScratch(rows)
+		}
+		err = data.ForEachChunk(tracked, rows, func(ch *data.Chunk) error {
+			upd.TuplesSeen += int64(ch.Len())
+			upd.Chunks++
+			return t.runUpdateChunk(ch, t.updScratch, w)
+		})
+	}
 	routeSpan.SetAttr("tuples", upd.TuplesSeen)
+	routeSpan.SetAttr("chunks", upd.Chunks)
 	routeSpan.End()
 	if err != nil {
 		return *upd, fmt.Errorf("core: streaming update chunk: %w", err)
@@ -70,7 +100,27 @@ func (t *Tree) update(chunk data.Source, w int64) (UpdateStats, error) {
 	if err := t.process(t.root, 0, updSpan); err != nil {
 		return *upd, fmt.Errorf("core: post-update processing: %w", err)
 	}
+
+	// The tree is consistent again: advance the epoch, and republish
+	// eagerly when serving has started so readers flip to the new epoch
+	// without paying the materialization themselves. A failed update never
+	// reaches this point — readers then keep serving the last published
+	// epoch (see the failure semantics in DESIGN.md §14).
+	t.epoch.Add(1)
+	if t.snap.Load() != nil {
+		if _, err := t.publishLocked(); err != nil {
+			return *upd, fmt.Errorf("core: publishing update snapshot: %w", err)
+		}
+	}
+
+	secs := time.Since(start).Seconds()
+	t.met.updTuples.Add(upd.TuplesSeen)
+	t.met.updChunks.Add(upd.Chunks)
+	if secs > 0 {
+		t.met.updRate.Set(float64(upd.TuplesSeen) / secs)
+	}
 	t.log.Info("update finished", "op", name, "tuples", upd.TuplesSeen,
+		"chunks", upd.Chunks, "epoch", t.epoch.Load(),
 		"rebuilt_subtrees", upd.RebuiltSubtrees, "migrated_tuples", upd.MigratedTuples,
 		"refitted_leaves", upd.RefittedLeaves)
 	return *upd, nil

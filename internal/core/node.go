@@ -277,6 +277,11 @@ func (t *Tree) route(n *bnode, tp data.Tuple, w int64) error {
 		}
 		c := n.coarse
 		if c.kind == data.Categorical {
+			// Same predicate as the compiled inference layout
+			// (tree.FlatTree): codes outside [0, 64) — including the
+			// platform-dependent uint conversion of negative or NaN values,
+			// which always lands at or above 1<<63 — and codes outside the
+			// subset take the pinned right edge.
 			code := uint(tp.Values[c.attr])
 			if code < 64 && c.subset&(1<<code) != 0 {
 				n = n.left
@@ -293,7 +298,11 @@ func (t *Tree) route(n *bnode, tp data.Tuple, w int64) error {
 				n.eqLow += w
 			}
 			n = n.left
-		case v > c.hi:
+		case v > c.hi || v != v:
+			// Above the interval — or NaN, which takes the pinned
+			// missing-value edge (right of every finite threshold, exactly
+			// as FlatTree classifies it) rather than sticking in S_n, where
+			// it would corrupt the in-interval split-point candidates.
 			n.highCounts[tp.Class] += w
 			n = n.right
 		default:

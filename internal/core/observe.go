@@ -28,6 +28,11 @@ type metricSet struct {
 	leavesInMemory, leavesRefitted                *obs.Counter
 	migratedTuples                                *obs.Counter
 
+	// Streaming updates (Insert/Delete) and snapshot publication.
+	updTuples, updChunks *obs.Counter
+	updRate              *obs.Gauge
+	epochSwaps           *obs.Counter
+
 	// Sampling phase.
 	coarseNodes, disagreements *obs.Counter
 }
@@ -54,6 +59,10 @@ func newMetricSet(r *obs.Registry) metricSet {
 		leavesInMemory:   r.Counter("leaf.inmemory"),
 		leavesRefitted:   r.Counter("leaf.refitted"),
 		migratedTuples:   r.Counter("update.migrated_tuples"),
+		updTuples:        r.Counter("update.tuples"),
+		updChunks:        r.Counter("update.chunks"),
+		updRate:          r.Gauge("update.tuples_per_sec"),
+		epochSwaps:       r.Counter("update.epoch_swaps"),
 		coarseNodes:      r.Counter("bootstrap.coarse_nodes"),
 		disagreements:    r.Counter("bootstrap.disagreements"),
 	}

@@ -468,6 +468,17 @@ func (t *Tree) processLeaf(n *bnode, rdepth int, sp *obs.Span) error {
 		n.subtree = nil
 		return nil
 	}
+	// If the reference builder's stopping rule fires on this family's
+	// size, depth, and class histogram — all maintained eagerly — the
+	// (re)fit would yield a bare leaf: skip materializing and sorting the
+	// family and emit the leaf directly. This is exactly the builder's own
+	// first check (inmem.Config.StopBeforeSplit at subtree depth 0), so
+	// exactness is preserved; it turns the per-update refit of pure or
+	// unsplittable fat leaves from O(n log n) into O(classes).
+	if t.cfg.growConfig(n.depth).StopBeforeSplit(total, 0, n.classCounts) {
+		n.subtree = nil
+		return nil
+	}
 	// In-memory (re)fit: full completion in non-stop mode, or the exact
 	// above-threshold subtree of a fat leaf in stop mode (the growth
 	// rules include the stop threshold, so the subtree matches the

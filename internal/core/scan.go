@@ -398,7 +398,10 @@ func (s *shardNode) routeChunk(ch *data.Chunk, idx []int32, sc *routeScratch, de
 						eq++
 					}
 					left = append(left, int32(r))
-				case v > c.hi:
+				case v > c.hi || v != v:
+					// NaN takes the pinned missing-value edge (right),
+					// matching Tree.route and the compiled inference layout;
+					// it must never stick in S_n.
 					right = append(right, int32(r))
 				default:
 					stuck = append(stuck, int32(r))
@@ -413,7 +416,7 @@ func (s *shardNode) routeChunk(ch *data.Chunk, idx []int32, sc *routeScratch, de
 						eq++
 					}
 					left = append(left, r)
-				case v > c.hi:
+				case v > c.hi || v != v:
 					right = append(right, r)
 				default:
 					stuck = append(stuck, r)

@@ -3,7 +3,20 @@ package data
 import (
 	"fmt"
 	"io"
+	"sync"
 )
+
+// batchScratch holds the transient per-call buffers of the batch
+// add/remove paths — row hashes, survivor indices, one gathered row —
+// pooled so steady-state streaming updates stop paying an allocation
+// (and its zeroing) per (node, chunk) call.
+type batchScratch struct {
+	hashes []uint64
+	surv   []int32
+	row    []float64
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
 // TupleBag is a multiset of tuples supporting additions and deletions, with
 // the additions held in a SpillBuffer (budgeted memory, temp-file
@@ -32,7 +45,13 @@ type removalEntry struct {
 // consumeRemoval cancels one pending removal matching t, reporting whether
 // a match was found.
 func consumeRemoval(pending map[uint64][]removalEntry, t Tuple) bool {
-	h := t.Hash64()
+	return consumeRemovalH(pending, t.Hash64(), t)
+}
+
+// consumeRemovalH is consumeRemoval with the bucket key already computed —
+// the batch paths hash whole chunks column-wise (Chunk.HashRows) and pass
+// the per-row keys in.
+func consumeRemovalH(pending map[uint64][]removalEntry, h uint64, t Tuple) bool {
 	bucket := pending[h]
 	for i := range bucket {
 		if bucket[i].t.Equal(t) {
@@ -101,25 +120,71 @@ func (b *TupleBag) AddChunkRow(ch *Chunk, r int) error {
 
 // AddChunkRows adds the chunk rows named by idx (all rows when idx is
 // nil). With no pending removals — the steady state of the cleanup scan —
-// the rows are copied column-wise in one batch.
+// the rows are copied column-wise in one batch. With removals pending (the
+// streaming-update path after deletes), the batch is hashed column-wise
+// once, each row whose hash bucket is non-empty is gathered through one
+// reused buffer to test for cancellation, and the surviving rows are
+// appended in one columnar batch — a row whose bucket is empty (the common
+// case when inserts and expired deletes carry disjoint data) never pays
+// the gather or the equality walk, only the map probe.
 func (b *TupleBag) AddChunkRows(ch *Chunk, idx []int32) error {
 	if b.removed == 0 {
 		return b.add.AppendChunkRows(ch, idx)
 	}
-	if idx == nil {
-		for r := 0; r < ch.Len(); r++ {
-			if err := b.AddChunkRow(ch, r); err != nil {
-				return err
-			}
-		}
+	n := ch.Len()
+	if idx != nil {
+		n = len(idx)
+	}
+	if n == 0 {
 		return nil
 	}
-	for _, r := range idx {
-		if err := b.AddChunkRow(ch, int(r)); err != nil {
-			return err
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	hashes := ch.HashRows(sc.hashes, idx)
+	sc.hashes = hashes
+	if cap(sc.row) < ch.Width() {
+		sc.row = make([]float64, ch.Width())
+	}
+	buf := sc.row[:ch.Width()]
+	t := Tuple{Values: buf}
+	if cap(sc.surv) < n {
+		sc.surv = make([]int32, 0, n)
+	}
+	surv := sc.surv[:0]
+	cancels := func(j, r int) bool {
+		if b.removed <= 0 {
+			return false
+		}
+		h := hashes[j]
+		if len(b.removals[h]) == 0 {
+			return false
+		}
+		ch.Gather(r, buf)
+		t.Class = ch.Class(r)
+		if consumeRemovalH(b.removals, h, t) {
+			b.removed--
+			return true
+		}
+		return false
+	}
+	if idx == nil {
+		for r := 0; r < n; r++ {
+			if !cancels(r, r) {
+				surv = append(surv, int32(r))
+			}
+		}
+	} else {
+		for j, r := range idx {
+			if !cancels(j, int(r)) {
+				surv = append(surv, r)
+			}
 		}
 	}
-	return nil
+	sc.surv = surv
+	if len(surv) == 0 {
+		return nil
+	}
+	return b.add.AppendChunkRows(ch, surv)
 }
 
 // Remove queues the deletion of one occurrence of t. The occurrence must
@@ -140,6 +205,49 @@ func (b *TupleBag) Remove(t Tuple) error {
 	}
 	b.removals[h] = append(bucket, removalEntry{t: t.Clone(), count: 1})
 	b.removed++
+	return nil
+}
+
+// RemoveChunkRows queues the deletion of the chunk rows named by idx (all
+// rows when idx is nil). It is exactly equivalent to calling Remove on
+// each row's tuple, but batch-shaped: the bucket keys come from one
+// column-wise hash pass over the chunk, and instead of cloning each new
+// distinct tuple the entries reference rows of a single shared row-major
+// snapshot of the batch — two allocations for the whole call where the
+// row path pays one clone per distinct tuple.
+func (b *TupleBag) RemoveChunkRows(ch *Chunk, idx []int32) error {
+	n := ch.Len()
+	if idx != nil {
+		n = len(idx)
+	}
+	if n == 0 {
+		return nil
+	}
+	if b.removals == nil {
+		b.removals = make(map[uint64][]removalEntry)
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	hashes := ch.HashRows(sc.hashes, idx)
+	sc.hashes = hashes
+	// The snapshot itself is NOT pooled: the new entries reference its rows.
+	rows := ch.GatherRows(idx)
+	for j, t := range rows {
+		h := hashes[j]
+		bucket := b.removals[h]
+		found := false
+		for i := range bucket {
+			if bucket[i].t.Equal(t) {
+				bucket[i].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			b.removals[h] = append(bucket, removalEntry{t: t, count: 1})
+		}
+		b.removed++
+	}
 	return nil
 }
 

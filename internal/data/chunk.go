@@ -2,6 +2,7 @@ package data
 
 import (
 	"io"
+	"math"
 	"sync"
 )
 
@@ -149,6 +150,115 @@ func (c *Chunk) TupleCopy(r int) Tuple {
 	vals := make([]float64, c.width)
 	c.Gather(r, vals)
 	return Tuple{Values: vals, Class: c.Class(r)}
+}
+
+// GatherRows returns row-major copies of the rows named by idx (all rows
+// when idx is nil). All copies share one backing array — one allocation
+// for the batch instead of one per row — and the transpose runs column by
+// column: sequential (or gathered) reads from each hot source column
+// instead of a strided scatter per row.
+func (c *Chunk) GatherRows(idx []int32) []Tuple {
+	n := c.n
+	if idx != nil {
+		n = len(idx)
+	}
+	if n == 0 {
+		return nil
+	}
+	w := c.width
+	backing := make([]float64, n*w)
+	for a := 0; a < w; a++ {
+		col := c.vals[a*c.stride:]
+		if idx == nil {
+			for r := 0; r < n; r++ {
+				backing[r*w+a] = col[r]
+			}
+		} else {
+			for j, r := range idx {
+				backing[j*w+a] = col[r]
+			}
+		}
+	}
+	out := make([]Tuple, n)
+	if idx == nil {
+		for r := range out {
+			out[r] = Tuple{Values: backing[r*w : (r+1)*w : (r+1)*w], Class: int(c.class[r])}
+		}
+	} else {
+		for j, r := range idx {
+			out[j] = Tuple{Values: backing[j*w : (j+1)*w : (j+1)*w], Class: int(c.class[r])}
+		}
+	}
+	return out
+}
+
+// HashRows computes Tuple.Hash64 for the rows named by idx (all rows when
+// idx is nil), reusing dst's capacity. The hashes are bit-identical to
+// hashing each row's materialized Tuple — same FNV-1a byte walk, same NaN
+// canonicalization — but evaluated column by column: the ~8 dependent
+// multiplies per value then belong to independent per-row chains that the
+// pipeline overlaps, where the row-major walk serializes them. The batch
+// removal paths of TupleBag lean on this for their bucket keys.
+func (c *Chunk) HashRows(dst []uint64, idx []int32) []uint64 {
+	const offset64 = 14695981039346656037
+	n := c.n
+	if idx != nil {
+		n = len(idx)
+	}
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	for j := range dst {
+		dst[j] = offset64
+	}
+	for a := 0; a < c.width; a++ {
+		col := c.vals[a*c.stride:]
+		if idx == nil {
+			for r := 0; r < n; r++ {
+				v := col[r]
+				b := math.Float64bits(v)
+				if v != v {
+					b = canonicalNaNBits
+				}
+				dst[r] = fnvMix(dst[r], b)
+			}
+		} else {
+			for j, r := range idx {
+				v := col[r]
+				b := math.Float64bits(v)
+				if v != v {
+					b = canonicalNaNBits
+				}
+				dst[j] = fnvMix(dst[j], b)
+			}
+		}
+	}
+	if idx == nil {
+		for r := 0; r < n; r++ {
+			dst[r] = fnvMix(dst[r], uint64(int(c.class[r])))
+		}
+	} else {
+		for j, r := range idx {
+			dst[j] = fnvMix(dst[j], uint64(int(c.class[r])))
+		}
+	}
+	return dst
+}
+
+// fnvMix folds one 64-bit word into an FNV-1a state byte-wise, exactly as
+// Tuple.Hash64 does (low byte first).
+func fnvMix(h, b uint64) uint64 {
+	const prime64 = 1099511628211
+	h = (h ^ (b & 0xff)) * prime64
+	h = (h ^ (b >> 8 & 0xff)) * prime64
+	h = (h ^ (b >> 16 & 0xff)) * prime64
+	h = (h ^ (b >> 24 & 0xff)) * prime64
+	h = (h ^ (b >> 32 & 0xff)) * prime64
+	h = (h ^ (b >> 40 & 0xff)) * prime64
+	h = (h ^ (b >> 48 & 0xff)) * prime64
+	h = (h ^ (b >> 56 & 0xff)) * prime64
+	return h
 }
 
 // ChunkPool recycles chunks of one fixed geometry. It is safe for

@@ -192,3 +192,59 @@ func TestReservoirSampleMatchesRowReference(t *testing.T) {
 		requireSameTuples(t, fmt.Sprintf("n=%d", n), got, want)
 	}
 }
+
+func TestHashRowsMatchesTupleHash64(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewChunk(5, 64)
+	for r := 0; r < 50; r++ {
+		vals := make([]float64, 5)
+		for a := range vals {
+			switch rng.Intn(5) {
+			case 0:
+				vals[a] = nan()
+			case 1:
+				vals[a] = -vals[a] // negative zero occasionally
+			default:
+				vals[a] = rng.NormFloat64() * 1e3
+			}
+		}
+		c.AppendTuple(Tuple{Values: vals, Class: rng.Intn(4)})
+	}
+	check := func(idx []int32, label string) {
+		hashes := c.HashRows(nil, idx)
+		rows := c.GatherRows(idx)
+		n := c.Len()
+		if idx != nil {
+			n = len(idx)
+		}
+		if len(hashes) != n || len(rows) != n {
+			t.Fatalf("%s: got %d hashes, %d rows, want %d", label, len(hashes), len(rows), n)
+		}
+		for j := range hashes {
+			r := j
+			if idx != nil {
+				r = int(idx[j])
+			}
+			want := c.TupleCopy(r)
+			if !rows[j].Equal(want) || rows[j].Class != want.Class {
+				t.Errorf("%s: GatherRows row %d = %v, want %v", label, j, rows[j], want)
+			}
+			if hashes[j] != want.Hash64() {
+				t.Errorf("%s: HashRows row %d = %#x, want %#x", label, j, hashes[j], want.Hash64())
+			}
+		}
+	}
+	check(nil, "all rows")
+	check([]int32{0, 3, 7, 7, 49, 12}, "index subset")
+	// Reused destination capacity must not leak previous hashes.
+	buf := c.HashRows(nil, nil)
+	again := c.HashRows(buf, []int32{1, 2})
+	if again[0] != c.TupleCopy(1).Hash64() || again[1] != c.TupleCopy(2).Hash64() {
+		t.Error("HashRows with reused buffer produced wrong hashes")
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

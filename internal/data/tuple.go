@@ -30,25 +30,32 @@ func (t Tuple) Clone() Tuple {
 	return Tuple{Values: v, Class: t.Class}
 }
 
-// Equal reports exact equality of values and class.
+// Equal reports exact equality of values and class. NaN values compare
+// equal to each other (any payload): a tuple carrying a missing value must
+// match its own copy so the dynamic environment can delete it again, which
+// IEEE equality would forbid.
 func (t Tuple) Equal(o Tuple) bool {
 	if t.Class != o.Class || len(t.Values) != len(o.Values) {
 		return false
 	}
 	for i := range t.Values {
-		if t.Values[i] != o.Values[i] {
+		a, b := t.Values[i], o.Values[i]
+		if a != b && (a == a || b == b) {
 			return false
 		}
 	}
 	return true
 }
 
+// canonicalNaNBits is the bit pattern every NaN hashes as, so Hash64 stays
+// consistent with Equal (which treats all NaNs as one value).
+var canonicalNaNBits = math.Float64bits(math.NaN())
+
 // Hash64 returns a 64-bit FNV-1a hash over the tuple's value bits and
 // class. TupleBag's removal bookkeeping uses it as a bucket key (with an
 // Equal check against the bucket's entries for collisions), avoiding the
 // per-tuple string allocation a byte-exact map key would cost. NaNs are
-// rejected by schema validation upstream, so IEEE equality anomalies do
-// not arise.
+// canonicalized before hashing so Equal tuples always share a bucket.
 func (t Tuple) Hash64() uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -57,6 +64,9 @@ func (t Tuple) Hash64() uint64 {
 	h := uint64(offset64)
 	for _, v := range t.Values {
 		b := math.Float64bits(v)
+		if v != v {
+			b = canonicalNaNBits
+		}
 		for i := 0; i < 64; i += 8 {
 			h = (h ^ (b >> i & 0xff)) * prime64
 		}

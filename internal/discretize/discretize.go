@@ -475,6 +475,140 @@ func (h *Histogram) AddBatch(col []float64, classes []int32, idx []int32) {
 	}
 }
 
+// AddBatchW registers w occurrences (w may be negative: deletions in the
+// dynamic environment) of (col[r], classes[r]) for every row r in idx, or
+// for every row of col when idx is nil. Cell resolution is identical to
+// AddBatch — the same bucket index, the same pinned top cell for NaN — so
+// AddBatchW(..., -1) after AddBatch(...) restores every count exactly.
+func (h *Histogram) AddBatchW(col []float64, classes []int32, idx []int32, w int64) {
+	if w == 1 {
+		h.AddBatch(col, classes, idx)
+		return
+	}
+	b := h.Boundaries
+	if flat, nc := h.flat, h.classes; flat != nil {
+		switch len(b) {
+		case 0:
+			if idx == nil {
+				for r := range col {
+					flat[classes[r]] += w
+				}
+				return
+			}
+			for _, r := range idx {
+				flat[classes[r]] += w
+			}
+			return
+		case 1:
+			b0 := b[0]
+			if idx == nil {
+				for r, v := range col {
+					cell := 0
+					if v == b0 {
+						cell = 1
+					} else if v > b0 || v != v {
+						cell = 2
+					}
+					flat[cell*nc+int(classes[r])] += w
+				}
+				return
+			}
+			for _, r := range idx {
+				v := col[r]
+				cell := 0
+				if v == b0 {
+					cell = 1
+				} else if v > b0 || v != v {
+					cell = 2
+				}
+				flat[cell*nc+int(classes[r])] += w
+			}
+			return
+		}
+		if h.bidx == nil {
+			h.bidx = buildBucketIndex(b)
+		}
+		if bval := h.bidx.bval; len(bval) > 0 {
+			min, scale := h.bidx.min, h.bidx.scale
+			base := h.bidx.base[:len(bval)]
+			last := len(bval) - 1
+			nanCell := 2 * len(b)
+			if idx == nil {
+				classes := classes[:len(col)]
+				for r, v := range col {
+					k := int((v - min) * scale)
+					if k < 0 {
+						k = 0
+					}
+					if k > last {
+						k = last
+					}
+					bv := bval[k]
+					cell := int(base[k])
+					if v >= bv {
+						cell++
+					}
+					if v > bv {
+						cell++
+					}
+					if v != v {
+						cell = nanCell
+					}
+					if cell < 0 {
+						cell = cellOf(b, v)
+					}
+					flat[cell*nc+int(classes[r])] += w
+				}
+				return
+			}
+			for _, r := range idx {
+				v := col[r]
+				k := int((v - min) * scale)
+				if k < 0 {
+					k = 0
+				}
+				if k > last {
+					k = last
+				}
+				bv := bval[k]
+				cell := int(base[k])
+				if v >= bv {
+					cell++
+				}
+				if v > bv {
+					cell++
+				}
+				if v != v {
+					cell = nanCell
+				}
+				if cell < 0 {
+					cell = cellOf(b, v)
+				}
+				flat[cell*nc+int(classes[r])] += w
+			}
+			return
+		}
+	}
+	counts := h.Counts
+	cell := -1
+	if idx == nil {
+		for r, v := range col {
+			if cell < 0 || !cellContains(b, cell, v) {
+				cell = cellOf(b, v)
+			}
+			counts[cell][classes[r]] += w
+		}
+		return
+	}
+	for _, r := range idx {
+		v := col[r]
+		if cell < 0 || !cellContains(b, cell, v) {
+			cell = cellOf(b, v)
+		}
+		counts[cell][classes[r]] += w
+	}
+}
+
 // cellContains reports whether v falls in cell over boundaries b — the
 // seed test that lets AddBatch skip the binary search for runs of values
 // landing in one cell.

@@ -71,14 +71,21 @@ func (b *listBuilder) rootLists() []*attrList {
 		for i := range idx {
 			idx[i] = int32(i)
 		}
+		// Ascending, NaN (missing values) last as one run — the canonical
+		// AVC order (split.SameValue) — stabilized by row id.
 		slices.SortFunc(idx, func(x, y int32) int {
+			a, b := vals[x], vals[y]
 			switch {
-			case vals[x] < vals[y]:
+			case a < b:
 				return -1
-			case vals[x] > vals[y]:
+			case a > b:
 				return 1
+			case a == b || a != a && b != b:
+				return int(x - y) // same entry: stabilize
+			case a == a:
+				return -1 // b is NaN: a sorts first
 			default:
-				return int(x - y) // stabilize
+				return 1 // a is NaN: b sorts first
 			}
 		})
 		l := &attrList{
@@ -198,7 +205,7 @@ func (b *listBuilder) statsFromLists(rows []int32, lists []*attrList, classTotal
 		l := lists[a]
 		distinct := 0
 		for i := range l.vals {
-			if i == 0 || l.vals[i] != l.vals[i-1] {
+			if i == 0 || !split.SameValue(l.vals[i], l.vals[i-1]) {
 				distinct++
 			}
 		}
@@ -209,7 +216,7 @@ func (b *listBuilder) statsFromLists(rows []int32, lists []*attrList, classTotal
 		backing := make([]int64, distinct*k)
 		var row []int64
 		for i := range l.vals {
-			if i == 0 || l.vals[i] != l.vals[i-1] {
+			if i == 0 || !split.SameValue(l.vals[i], l.vals[i-1]) {
 				row = backing[len(avc.Values)*k : (len(avc.Values)+1)*k]
 				avc.Values = append(avc.Values, l.vals[i])
 				avc.Counts = append(avc.Counts, row)

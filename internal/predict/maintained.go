@@ -1,0 +1,58 @@
+package predict
+
+import (
+	"sync/atomic"
+
+	"github.com/boatml/boat/internal/core"
+	"github.com/boatml/boat/internal/data"
+)
+
+// Maintained serves predictions from a BOAT tree that is concurrently
+// maintained with Insert and Delete. Each Predict call serves from the
+// tree's last published consistent Snapshot (see core.Tree.Snapshot):
+// while an update is in flight, readers keep routing through the previous
+// epoch's compiled tree without blocking, and flip to the new epoch once
+// the update has fully published it.
+//
+// The wrapped Predictor for an epoch is compiled once and cached behind
+// an atomic pointer, so the steady state — many predictions between
+// updates — costs one atomic load over a plain Predictor.
+type Maintained struct {
+	t   *core.Tree
+	cfg Config
+	cur atomic.Pointer[maintainedPredictor]
+}
+
+type maintainedPredictor struct {
+	epoch uint64
+	p     *Predictor
+}
+
+// NewMaintained wraps a maintained BOAT tree. The Config is applied to
+// every epoch's predictor.
+func NewMaintained(t *core.Tree, cfg Config) *Maintained {
+	return &Maintained{t: t, cfg: cfg}
+}
+
+// Predict classifies src against the tree's current published epoch and
+// reports which epoch served the call. Safe for concurrent use with
+// other Predict calls and with Insert/Delete on the underlying tree.
+func (m *Maintained) Predict(src data.Source) (*Result, uint64, error) {
+	s, err := m.t.Snapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	mp := m.cur.Load()
+	if mp == nil || mp.epoch != s.Epoch {
+		// Compile-per-epoch is already done (the snapshot carries the flat
+		// tree); this just wraps it. A racing reader on the same epoch may
+		// build a duplicate wrapper — harmless, last store wins.
+		mp = &maintainedPredictor{epoch: s.Epoch, p: NewFlat(s.Flat, m.cfg)}
+		m.cur.Store(mp)
+	}
+	res, err := mp.p.Predict(src)
+	if err != nil {
+		return nil, s.Epoch, err
+	}
+	return res, s.Epoch, nil
+}

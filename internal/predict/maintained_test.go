@@ -1,0 +1,125 @@
+package predict
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/boatml/boat/internal/core"
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/split"
+)
+
+// TestConcurrentUpdatePredict is the serve-while-update acceptance test
+// at the predictor layer: readers classify through a Maintained wrapper
+// while Insert and Delete mutate the underlying tree. Every prediction
+// must be served from a fully published epoch — the classification must
+// be bit-identical to classifying the same data against that epoch's own
+// immutable snapshot tree — and the epochs a reader observes must never
+// go backwards. Run under -race in CI.
+func TestConcurrentUpdatePredict(t *testing.T) {
+	genCfg := gen.Config{Function: 1, Noise: 0.1}
+	base := gen.MustSource(genCfg, 4000, 1)
+	bt, err := core.Build(base, core.Config{
+		Method: split.NewGini(), MaxDepth: 4, MinSplit: 50, SampleSize: 1000, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+
+	query := gen.MustSource(genCfg, 500, 77)
+	queryTuples, err := data.ReadAll(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintained(bt, Config{Parallelism: 2})
+
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, epoch, err := m.Predict(query)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if epoch < last {
+					errc <- fmt.Errorf("epoch went backwards: %d after %d", epoch, last)
+					return
+				}
+				last = epoch
+				if len(res.Labels) != len(queryTuples) {
+					errc <- fmt.Errorf("served %d labels for %d tuples", len(res.Labels), len(queryTuples))
+					return
+				}
+				// The serving epoch may have advanced between the Predict
+				// call and this check; re-reading the snapshot is still a
+				// valid consistency probe whenever the epoch held steady.
+				s, err := bt.Snapshot()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if s.Epoch != epoch {
+					continue
+				}
+				for i, tp := range queryTuples {
+					if want := s.Tree.Classify(tp); res.Labels[i] != want {
+						errc <- fmt.Errorf("epoch %d: label[%d] = %d, snapshot tree says %d",
+							epoch, i, res.Labels[i], want)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	const rounds = 4
+	for i := 0; i < rounds; i++ {
+		chunk := gen.MustSource(genCfg, 1000, int64(100+i))
+		if _, err := bt.Insert(chunk); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bt.Delete(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// After the last update settles, serving must reach the final epoch
+	// and match a fresh snapshot exactly.
+	res, epoch, err := m.Predict(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := bt.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != s.Epoch {
+		t.Fatalf("settled Predict served epoch %d, snapshot at %d", epoch, s.Epoch)
+	}
+	for i, tp := range queryTuples {
+		if want := s.Tree.Classify(tp); res.Labels[i] != want {
+			t.Fatalf("settled label[%d] = %d, want %d", i, res.Labels[i], want)
+		}
+	}
+}

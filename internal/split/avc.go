@@ -1,6 +1,7 @@
 package split
 
 import (
+	"math"
 	"slices"
 	"sort"
 
@@ -79,6 +80,40 @@ func (a *CatAVC) AddBatch(col []float64, classes []int32, idx []int32) {
 	}
 }
 
+// AddBatchW registers w occurrences (w may be negative: deletions in the
+// dynamic environment) of (col[r], classes[r]) for every row r in idx, or
+// for every row of col when idx is nil. Equivalent to Add per row; the
+// streaming-update router uses it to apply one signed chunk in a single
+// pass over the count matrix.
+func (a *CatAVC) AddBatchW(col []float64, classes []int32, idx []int32, w int64) {
+	if w == 1 {
+		a.AddBatch(col, classes, idx)
+		return
+	}
+	if flat, nc := a.flat, a.classes; flat != nil {
+		if idx == nil {
+			cls := classes[:len(col)]
+			for r, v := range col {
+				flat[int(v)*nc+int(cls[r])] += w
+			}
+			return
+		}
+		for _, r := range idx {
+			flat[int(col[r])*nc+int(classes[r])] += w
+		}
+		return
+	}
+	if idx == nil {
+		for r, v := range col {
+			a.Counts[int(v)][classes[r]] += w
+		}
+		return
+	}
+	for _, r := range idx {
+		a.Counts[int(col[r])][classes[r]] += w
+	}
+}
+
 // Merge adds o's counts into a. The two AVC-sets must cover the same
 // domain; used to combine per-worker shards of a partitioned scan.
 func (a *CatAVC) Merge(o *CatAVC) {
@@ -141,7 +176,11 @@ type avcBuilder struct {
 	schema      *data.Schema
 	classTotals []int64
 	num         []map[float64][]int64
-	cat         []*CatAVC
+	// nan holds the per-attribute class counts of NaN (missing) values,
+	// kept out of the maps: a NaN map key is unreachable (NaN != NaN in
+	// lookups), so each NaN Add would strand a fresh entry.
+	nan [][]int64
+	cat []*CatAVC
 }
 
 // NewAVCBuilder creates an empty accumulating AVC-group for a node.
@@ -161,6 +200,7 @@ func NewAVCBuilderFor(schema *data.Schema, attrs []int) *AVCBuilder {
 		schema:      schema,
 		classTotals: make([]int64, schema.ClassCount),
 		num:         make([]map[float64][]int64, len(schema.Attributes)),
+		nan:         make([][]int64, len(schema.Attributes)),
 		cat:         make([]*CatAVC, len(schema.Attributes)),
 	}}
 	for _, i := range attrs {
@@ -184,6 +224,13 @@ func (b *AVCBuilder) Add(t data.Tuple) {
 	for i := range b.schema.Attributes {
 		if m := b.num[i]; m != nil {
 			v := t.Values[i]
+			if v != v {
+				if b.nan[i] == nil {
+					b.nan[i] = make([]int64, b.schema.ClassCount)
+				}
+				b.nan[i][t.Class]++
+				continue
+			}
 			row := m[v]
 			if row == nil {
 				row = make([]int64, b.schema.ClassCount)
@@ -200,9 +247,12 @@ func (b *AVCBuilder) Add(t data.Tuple) {
 // seen plus categorical domain sizes).
 func (b *AVCBuilder) Entries() int64 {
 	var n int64
-	for _, m := range b.num {
+	for i, m := range b.num {
 		if m != nil {
 			n += int64(len(m))
+			if b.nan[i] != nil {
+				n++
+			}
 		}
 	}
 	for _, c := range b.cat {
@@ -227,8 +277,8 @@ func (b *AVCBuilder) Stats() *NodeStats {
 			continue
 		}
 		avc := &NumericAVC{
-			Values: make([]float64, 0, len(m)),
-			Counts: make([][]int64, 0, len(m)),
+			Values: make([]float64, 0, len(m)+1),
+			Counts: make([][]int64, 0, len(m)+1),
 		}
 		for v := range m {
 			avc.Values = append(avc.Values, v)
@@ -236,6 +286,12 @@ func (b *AVCBuilder) Stats() *NodeStats {
 		sort.Float64s(avc.Values)
 		for _, v := range avc.Values {
 			avc.Counts = append(avc.Counts, m[v])
+		}
+		if b.nan[i] != nil {
+			// The canonical AVC order places the single NaN (missing
+			// value) entry last; see cmpValue.
+			avc.Values = append(avc.Values, math.NaN())
+			avc.Counts = append(avc.Counts, b.nan[i])
 		}
 		s.Num[i] = avc
 	}
@@ -271,18 +327,11 @@ func BuildNodeStats(schema *data.Schema, tuples []data.Tuple) *NodeStats {
 			pairs[j] = valueClass{v: t.Values[i], class: t.Class}
 		}
 		slices.SortFunc(pairs, func(a, b valueClass) int {
-			switch {
-			case a.v < b.v:
-				return -1
-			case a.v > b.v:
-				return 1
-			default:
-				return 0
-			}
+			return cmpValue(a.v, b.v)
 		})
 		distinct := 0
 		for j := range pairs {
-			if j == 0 || pairs[j].v != pairs[j-1].v {
+			if j == 0 || !SameValue(pairs[j].v, pairs[j-1].v) {
 				distinct++
 			}
 		}
@@ -293,7 +342,7 @@ func BuildNodeStats(schema *data.Schema, tuples []data.Tuple) *NodeStats {
 		backing := make([]int64, distinct*k)
 		var row []int64
 		for j := range pairs {
-			if j == 0 || pairs[j].v != pairs[j-1].v {
+			if j == 0 || !SameValue(pairs[j].v, pairs[j-1].v) {
 				row = backing[len(avc.Values)*k : (len(avc.Values)+1)*k]
 				avc.Values = append(avc.Values, pairs[j].v)
 				avc.Counts = append(avc.Counts, row)
@@ -308,4 +357,33 @@ func BuildNodeStats(schema *data.Schema, tuples []data.Tuple) *NodeStats {
 type valueClass struct {
 	v     float64
 	class int
+}
+
+// SameValue reports whether two attribute values are the same AVC entry:
+// IEEE equality, except that all NaNs (missing values) collapse into one
+// entry. Every AVC construction path uses it for run detection so a family
+// containing NaNs yields exactly one NaN entry, never one per tuple.
+func SameValue(a, b float64) bool { return a == b || (a != a && b != b) }
+
+// cmpValue is the canonical AVC value order: ascending, with the single
+// NaN entry last. Placing NaN after every real value means the candidate
+// enumeration of BestNumericSplit (all entries but the last) never emits a
+// NaN threshold, while the largest real value becomes a legal candidate
+// exactly when NaN tuples exist to its right — matching the pinned
+// missing-value edge (NaN routes right) used by routing and inference.
+func cmpValue(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b: // equal reals
+		return 0
+	case a == a: // b is NaN: a sorts first
+		return -1
+	case b == b: // a is NaN: b sorts first
+		return 1
+	default: // both NaN
+		return 0
+	}
 }

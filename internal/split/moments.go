@@ -82,6 +82,26 @@ func (m *NumMoments) AddBatch(col []float64, classes []int32, idx []int32) {
 	}
 }
 
+// AddBatchW registers w occurrences (w may be negative) of col[r] with
+// class classes[r] for every row r in idx, or for every row of col when
+// idx is nil. Equivalent to Add(col[r], int(classes[r]), w) per row; the
+// w = +1 case takes the inlined add1 fast path of AddBatch.
+func (m *NumMoments) AddBatchW(col []float64, classes []int32, idx []int32, w int64) {
+	if w == 1 {
+		m.AddBatch(col, classes, idx)
+		return
+	}
+	if idx == nil {
+		for r, v := range col {
+			m.Add(v, int(classes[r]), w)
+		}
+		return
+	}
+	for _, r := range idx {
+		m.Add(col[r], int(classes[r]), w)
+	}
+}
+
 // add1 is Add(v, class, 1).
 func (m *NumMoments) add1(v float64, class int) {
 	iv := int64(v)
@@ -178,6 +198,35 @@ func (m *Moments) AddChunk(ch *data.Chunk, idx []int32) {
 			m.Num[i].AddBatch(col, classes, idx)
 		} else {
 			m.Cat[i].AddBatch(col, classes, idx)
+		}
+	}
+}
+
+// AddChunkW registers w occurrences (w = -1 implements deletion) of every
+// chunk row named by idx (all rows when idx is nil). Equivalent to
+// Add(row, w) per row, applied column by column like AddChunk; the
+// streaming-update router uses it to absorb one signed chunk per node.
+func (m *Moments) AddChunkW(ch *data.Chunk, idx []int32, w int64) {
+	if w == 1 {
+		m.AddChunk(ch, idx)
+		return
+	}
+	classes := ch.Classes()
+	if idx == nil {
+		for _, c := range classes {
+			m.ClassTotals[c] += w
+		}
+	} else {
+		for _, r := range idx {
+			m.ClassTotals[classes[r]] += w
+		}
+	}
+	for i, a := range m.Schema.Attributes {
+		col := ch.Col(i)
+		if a.Kind == data.Numeric {
+			m.Num[i].AddBatchW(col, classes, idx, w)
+		} else {
+			m.Cat[i].AddBatchW(col, classes, idx, w)
 		}
 	}
 }

@@ -105,6 +105,20 @@ func NewMemSource(schema *Schema, tuples []Tuple) Source {
 // tool.
 func OpenFile(path string) (*data.FileSource, error) { return data.OpenFile(path) }
 
+// Open opens a dataset file in either on-disk format — the row formats
+// written by WriteFile or the block-compressed columnar format written by
+// WriteColumnarFile — sniffing the magic to pick the reader. Columnar
+// sources honor Options.PipelineDepth / PipelineWorkers during a Grow.
+func Open(path string) (Source, error) { return data.Open(path) }
+
+// WriteColumnarFile materializes a Source into a block-compressed columnar
+// dataset file (per-block column segments, small-int encodings, CRC-32C
+// checksums and min/max zone maps). blockRows 0 uses the default block
+// size.
+func WriteColumnarFile(path string, src Source, blockRows int) (int64, error) {
+	return data.WriteColFile(path, src, blockRows)
+}
+
 // CSV import with schema inference.
 type (
 	// CSVOptions controls CSV parsing (header, class column, separator).

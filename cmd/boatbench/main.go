@@ -20,15 +20,18 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
 	"runtime/trace"
+	"sort"
 	"strings"
 	"time"
 
@@ -41,6 +44,7 @@ import (
 	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/predict"
 	"github.com/boatml/boat/internal/split"
+	"github.com/boatml/boat/internal/tree"
 )
 
 var runners = []struct {
@@ -108,6 +112,11 @@ func main() {
 		updateJSON   = flag.String("updatejson", "", "run the streaming-update micro-benchmark (row-at-a-time baseline vs columnar chunk router on the sliding-window dynamic-environment workload) and write measurements to this JSON file instead of a figure")
 		updateRounds = flag.Int("updaterounds", 30, "insert+delete rounds per mode for -updatejson")
 
+		ioJSON      = flag.String("iojson", "", "run the file-backed scan I/O benchmark (row file vs columnar block file, synchronous vs pipelined, zone skipping on/off) and write measurements to this JSON file instead of a figure")
+		ioTuples    = flag.Int64("iotuples", 1_000_000, "dataset size for -iojson")
+		ioBlockRows = flag.Int("ioblockrows", 0, "columnar block rows for -iojson (0 = default)")
+		ioVerify    = flag.Bool("ioverify", true, "-iojson: also verify trees bit-identical across formats, pipeline depths {1,4} and Parallelism {1,8}")
+
 		metricsJSON = flag.String("metricsjson", "", `write the accumulated BOAT metrics registry as JSON to this file ("-" = stdout)`)
 		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
 		logLevel    = flag.String("loglevel", "info", "log level: debug | info | warn | error")
@@ -136,6 +145,7 @@ func main() {
 		benchJSON: *benchJSON, benchTuples: *benchTuples, benchRounds: *benchRounds,
 		predictJSON: *predictJSON,
 		updateJSON:  *updateJSON, updateRounds: *updateRounds,
+		ioJSON: *ioJSON, ioTuples: *ioTuples, ioBlockRows: *ioBlockRows, ioVerify: *ioVerify,
 		metricsJSON: *metricsJSON,
 	})
 	stopProfiles()
@@ -227,6 +237,11 @@ type mainConfig struct {
 	updateJSON   string
 	updateRounds int
 
+	ioJSON      string
+	ioTuples    int64
+	ioBlockRows int
+	ioVerify    bool
+
 	metricsJSON string
 }
 
@@ -267,6 +282,14 @@ func run(mc mainConfig) int {
 
 	if mc.updateJSON != "" {
 		code := runUpdateBench(mc, m, metrics)
+		if code == 0 {
+			code = dumpMetrics(metrics, mc.metricsJSON)
+		}
+		return code
+	}
+
+	if mc.ioJSON != "" {
+		code := runIOBench(mc, m)
 		if code == 0 {
 			code = dumpMetrics(metrics, mc.metricsJSON)
 		}
@@ -661,6 +684,257 @@ func runUpdateBench(mc mainConfig, m split.Method, metrics *obs.Registry) int {
 	}
 	fmt.Printf("wrote %s\n", mc.updateJSON)
 	return 0
+}
+
+// ioScanMeasurement is one source/configuration's result in an -iojson
+// report: the scan measurement plus the I/O accounting that motivates the
+// columnar path — logical (decoded tuple) bytes vs bytes physically read,
+// and the number of blocks the zone maps let the router skip.
+type ioScanMeasurement struct {
+	core.ScanMeasurement
+	Source        string `json:"source"`
+	LogicalBytes  int64  `json:"logical_bytes_read"`
+	PhysicalBytes int64  `json:"physical_bytes_read"`
+	BlocksSkipped int64  `json:"blocks_skipped"`
+}
+
+// ioBenchReport is the JSON document -iojson writes: the file-backed
+// cleanup-scan throughput of the row format vs the columnar block format
+// (synchronous and pipelined, zone skipping on and off), file sizes, and
+// the cross-format tree-identity verification.
+type ioBenchReport struct {
+	Workload              string              `json:"workload"`
+	Tuples                int64               `json:"tuples"`
+	Rounds                int                 `json:"rounds"`
+	Parallelism           int                 `json:"parallelism"`
+	BlockRows             int                 `json:"block_rows"`
+	GOMAXPROCS            int                 `json:"gomaxprocs"`
+	Config                benchProvenance     `json:"config"`
+	RowFileBytes          int64               `json:"row_file_bytes"`
+	ColFileBytes          int64               `json:"col_file_bytes"`
+	Compression           float64             `json:"row_bytes_per_col_byte"`
+	Modes                 []ioScanMeasurement `json:"modes"`
+	SyncSpeedupVsRow      float64             `json:"col_sync_speedup_vs_row"`
+	PipelinedSpeedupVsRow float64             `json:"col_pipelined_speedup_vs_row"`
+	ZoneSkipSpeedup       float64             `json:"zone_skip_speedup"`
+	TreeConfigsVerified   int                 `json:"tree_configs_verified"`
+	TreesIdentical        bool                `json:"trees_identical"`
+}
+
+// runIOBench measures the file-backed cleanup scan end to end: the same
+// F1 workload is materialized once as a row file and once as a columnar
+// block file, and the sharded scan is timed over each — the columnar file
+// synchronously decoded, behind the prefetch/decode pipeline, and with
+// zone-map skipping disabled — isolating what the on-disk format, the
+// pipeline, and the zone maps each buy. With -ioverify (default) it then
+// builds trees from both files across pipeline depths {1, 4} and
+// Parallelism {1, 8} and asserts every encoded tree is bit-identical.
+func runIOBench(mc mainConfig, m split.Method) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "boatbench: iojson: %v\n", err)
+		return 1
+	}
+	n := mc.ioTuples
+	para := mc.para
+	if para <= 0 {
+		para = 8
+	}
+	rounds := mc.benchRounds
+	dir := mc.dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "boatbench-io-")
+		if err != nil {
+			return fail(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	fmt.Printf("=== scan I/O benchmark: Fig-4/F1 workload, %d tuples, %d rounds/mode, Parallelism=%d ===\n",
+		n, rounds, para)
+
+	rowPath := filepath.Join(dir, "io-train.boat")
+	colPath := filepath.Join(dir, "io-train.boatc")
+	// The dataset is materialized clustered on age — F1's split attribute —
+	// modeling the clustered fact table zone maps are designed for; both
+	// files hold the identical tuple sequence, so the comparison (and the
+	// tree-identity check) isolates the storage format.
+	gsrc := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, n, mc.seed+47)
+	tuples, err := data.ReadAll(gsrc)
+	if err != nil {
+		return fail(err)
+	}
+	sort.SliceStable(tuples, func(i, j int) bool {
+		return tuples[i].Values[gen.AttrAge] < tuples[j].Values[gen.AttrAge]
+	})
+	if _, err := data.WriteFile(rowPath, data.NewMemSource(gsrc.Schema(), tuples), data.FormatCompact); err != nil {
+		return fail(err)
+	}
+	tuples = nil
+	rowFile, err := data.OpenFile(rowPath)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := data.WriteColFile(colPath, rowFile, mc.ioBlockRows); err != nil {
+		return fail(err)
+	}
+	colFile, err := data.OpenColFile(colPath)
+	if err != nil {
+		return fail(err)
+	}
+	rowBytes, colBytes := rowFile.SizeBytes(), colFile.SizeBytes()
+	fmt.Printf("row file: %d bytes | columnar file: %d bytes (%d blocks x %d rows) | %.2fx smaller\n",
+		rowBytes, colBytes, colFile.Blocks(), colFile.BlockRows(), float64(rowBytes)/float64(colBytes))
+
+	sha, modified := gitRevision()
+	rep := ioBenchReport{
+		Workload: "fig4-f1", Tuples: n, Rounds: rounds,
+		Parallelism: para, BlockRows: colFile.BlockRows(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		RowFileBytes: rowBytes, ColFileBytes: colBytes,
+		Compression: float64(rowBytes) / float64(colBytes),
+		Config: benchProvenance{
+			Parallelism:   para,
+			ScanChunkRows: data.DefaultChunkRows,
+			Method:        m.Name(),
+			Seed:          mc.seed,
+			GoVersion:     runtime.Version(),
+			GitSHA:        sha,
+			GitModified:   modified,
+		},
+	}
+
+	modes := []struct {
+		name     string
+		path     string
+		depth    int
+		zoneSkip bool
+	}{
+		{"row", rowPath, 0, true},
+		{"col-sync", colPath, -1, true},
+		{"col-pipelined", colPath, 0, true},
+		{"col-noskip", colPath, 0, false},
+	}
+	byMode := map[string]ioScanMeasurement{}
+	for _, mode := range modes {
+		src, err := data.Open(mode.path)
+		if err != nil {
+			return fail(err)
+		}
+		stats := &iostats.Stats{}
+		reg := obs.NewRegistry()
+		bench, err := core.NewScanBench(src, core.Config{
+			Method: m, MaxDepth: 6, MinSplit: 50, SampleSize: 2000,
+			Seed: 7, TempDir: dir, Parallelism: para, Stats: stats,
+			PipelineDepth: mode.depth, DisableZoneSkip: !mode.zoneSkip,
+			Metrics: reg, Logger: mc.logger,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		meas, err := bench.Measure(core.ScanModeSharded, rounds)
+		bench.Close()
+		if err != nil {
+			return fail(err)
+		}
+		snap := stats.Snapshot()
+		im := ioScanMeasurement{
+			ScanMeasurement: meas,
+			Source:          mode.name,
+			LogicalBytes:    snap.BytesRead,
+			PhysicalBytes:   snap.PhysBytesRead,
+			BlocksSkipped:   reg.Snapshot().Counters["scan.blocks_skipped"],
+		}
+		rep.Modes = append(rep.Modes, im)
+		byMode[mode.name] = im
+		fmt.Printf("%-14s %12.0f tuples/sec  phys/logical %.2f  blocks skipped %d\n",
+			mode.name, im.TuplesPerSec, float64(im.PhysicalBytes)/float64(max64(im.LogicalBytes, 1)),
+			im.BlocksSkipped)
+	}
+	row, sync, piped, noskip := byMode["row"], byMode["col-sync"], byMode["col-pipelined"], byMode["col-noskip"]
+	if row.TuplesPerSec > 0 {
+		rep.SyncSpeedupVsRow = sync.TuplesPerSec / row.TuplesPerSec
+		rep.PipelinedSpeedupVsRow = piped.TuplesPerSec / row.TuplesPerSec
+	}
+	if noskip.TuplesPerSec > 0 {
+		rep.ZoneSkipSpeedup = piped.TuplesPerSec / noskip.TuplesPerSec
+	}
+	fmt.Printf("columnar pipelined vs row: %.2fx | sync vs row: %.2fx | zone skipping: %.2fx\n",
+		rep.PipelinedSpeedupVsRow, rep.SyncSpeedupVsRow, rep.ZoneSkipSpeedup)
+
+	if mc.ioVerify {
+		verified, err := verifyIOTrees(rowPath, colPath, m, n, dir, mc.logger)
+		if err != nil {
+			return fail(err)
+		}
+		rep.TreeConfigsVerified = verified
+		rep.TreesIdentical = true
+		fmt.Printf("tree identity: %d format/depth/parallelism configurations bit-identical\n", verified)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.WriteFile(mc.ioJSON, append(out, '\n'), 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("wrote %s\n", mc.ioJSON)
+	return 0
+}
+
+// verifyIOTrees builds trees over the row file and the columnar file
+// across pipeline depths {1, 4} and Parallelism {1, 8} and returns the
+// number of configurations checked, erroring unless every encoded tree is
+// byte-identical to the row-format Parallelism=1 baseline.
+func verifyIOTrees(rowPath, colPath string, m split.Method, n int64, dir string, logger *slog.Logger) (int, error) {
+	build := func(path string, depth, para int) ([]byte, error) {
+		src, err := data.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := core.Build(src, core.Config{
+			Method: m, MaxDepth: 8, MinSplit: 50, SampleSize: 2000,
+			StopThreshold: n / 10, StopAtThreshold: true,
+			Seed: 7, TempDir: dir, Parallelism: para,
+			PipelineDepth: depth, Logger: logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer bt.Close()
+		return tree.EncodeTree(bt.Tree())
+	}
+	want, err := build(rowPath, 0, 1)
+	if err != nil {
+		return 0, err
+	}
+	checked := 1
+	if got, err := build(rowPath, 0, 8); err != nil {
+		return checked, err
+	} else if !bytes.Equal(got, want) {
+		return checked, fmt.Errorf("row-format tree differs at Parallelism=8")
+	}
+	checked++
+	for _, depth := range []int{1, 4} {
+		for _, para := range []int{1, 8} {
+			got, err := build(colPath, depth, para)
+			if err != nil {
+				return checked, err
+			}
+			if !bytes.Equal(got, want) {
+				return checked, fmt.Errorf("columnar tree differs at depth=%d parallelism=%d", depth, para)
+			}
+			checked++
+		}
+	}
+	return checked, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // predictBenchReport is the JSON document -predictjson writes: one

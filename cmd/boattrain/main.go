@@ -49,6 +49,9 @@ func main() {
 		sample      = flag.Int("sample", 0, "BOAT sample size (0 = auto)")
 		seed        = flag.Int64("seed", 1, "sampling seed")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for the parallel build phases (0 = GOMAXPROCS)")
+		pipeDepth   = flag.Int("pipedepth", 0, "columnar input: blocks read ahead by the scan pipeline (0 = default, negative = synchronous)")
+		pipeWorkers = flag.Int("pipeworkers", 0, "columnar input: decode worker goroutines (0 = auto)")
+		noZoneSkip  = flag.Bool("nozoneskip", false, "disable zone-map block skipping in the scan and update routers")
 		avcBuffer   = flag.Int64("avcbuffer", 3_000_000, "RainForest AVC buffer entries")
 		save        = flag.String("save", "", "write the encoded tree to this file")
 		saveModel   = flag.String("savemodel", "", "write the full BOAT model (tree + statistics) to this file atomically (boat only)")
@@ -78,7 +81,7 @@ func main() {
 			"attributes", ds.Schema.NumAttrs(), "classes", len(ds.ClassNames))
 		src = ds.Source()
 	} else {
-		fs, err := data.OpenFile(*input)
+		fs, err := data.Open(*input)
 		fatal(err)
 		src = fs
 	}
@@ -110,7 +113,9 @@ func main() {
 			Method: m, MaxDepth: *maxDepth, MinSplit: *minSplit,
 			StopThreshold: *threshold, StopAtThreshold: *stop,
 			SampleSize: *sample, Seed: *seed, Parallelism: *parallelism,
-			Stats: &st, Trace: tracer, Metrics: metrics, Logger: logger,
+			PipelineDepth: *pipeDepth, PipelineWorkers: *pipeWorkers,
+			DisableZoneSkip: *noZoneSkip,
+			Stats:           &st, Trace: tracer, Metrics: metrics, Logger: logger,
 		})
 		fatal(err)
 		defer bt.Close()
@@ -125,7 +130,7 @@ func main() {
 				"bound", bs.FailBound, "tie", bs.FailTie, "moment", bs.FailMoment)
 		}
 		if *update != "" {
-			chunk, err := data.OpenFile(*update)
+			chunk, err := data.Open(*update)
 			fatal(err)
 			ustart := time.Now()
 			upd, err := bt.Insert(chunk)
@@ -191,7 +196,7 @@ func runPredict(logger *slog.Logger, tr *tree.Tree, trainSrc data.Source,
 	}
 	src := trainSrc
 	if predictFile != "" {
-		fs, err := data.OpenFile(predictFile)
+		fs, err := data.Open(predictFile)
 		fatal(err)
 		src = fs
 	}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/obs"
+	"github.com/boatml/boat/internal/split"
+)
+
+// writeF1Files materializes one age-sorted F1 dataset in both on-disk
+// formats and returns the two paths. Sorting on age — the attribute F1's
+// root split tests — clusters the blocks so their zone maps actually
+// decide routing, the workload zone skipping is designed for.
+func writeF1Files(t *testing.T, n int64, blockRows int) (rowPath, colPath string) {
+	t.Helper()
+	src := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, n, 99)
+	tuples, err := data.ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.SliceStable(tuples, func(i, j int) bool {
+		return tuples[i].Values[gen.AttrAge] < tuples[j].Values[gen.AttrAge]
+	})
+	mem := data.NewMemSource(src.Schema(), tuples)
+	dir := t.TempDir()
+	rowPath, colPath = dir+"/d.boat", dir+"/d.boatc"
+	if _, err := data.WriteFile(rowPath, mem, data.FormatCompact); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := data.WriteColFile(colPath, mem, blockRows); err != nil {
+		t.Fatal(err)
+	}
+	return rowPath, colPath
+}
+
+func colTestConfig() Config {
+	return Config{
+		Method: split.NewGini(), MaxDepth: 5, MinSplit: 50,
+		SampleSize: 1500, Seed: 11,
+	}
+}
+
+// TestColumnarFormatTreeIdentity is the storage-independence contract of
+// the columnar path: the tree built from a columnar file — at every
+// pipeline depth (including the synchronous reader) and parallelism — is
+// bit-identical to the tree built from the row file holding the same
+// tuple sequence.
+func TestColumnarFormatTreeIdentity(t *testing.T) {
+	rowPath, colPath := writeF1Files(t, 3*data.DefaultChunkRows, 1024)
+
+	rowSrc, err := data.Open(rowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCfg := colTestConfig()
+	refCfg.Parallelism = 1
+	refCfg.TempDir = t.TempDir()
+	ref, err := Build(rowSrc, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	for _, depth := range []int{-1, 1, 4} {
+		for _, para := range []int{1, 8} {
+			t.Run(fmt.Sprintf("depth%d-P%d", depth, para), func(t *testing.T) {
+				colSrc, err := data.Open(colPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := colTestConfig()
+				cfg.Parallelism = para
+				cfg.PipelineDepth = depth
+				cfg.TempDir = t.TempDir()
+				bt, err := Build(colSrc, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer bt.Close()
+				requireEqual(t, "columnar vs row", bt.Tree(), ref.Tree())
+				if err := bt.CheckConsistency(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestZoneSkipExactness: zone-map block skipping changes nothing but the
+// work — the tree (and therefore every derived routing count, which
+// CheckConsistency validates against the node statistics) is identical
+// with skipping on and off, and on this clustered dataset the skip
+// counter proves whole blocks actually bypassed the partition kernel.
+func TestZoneSkipExactness(t *testing.T) {
+	_, colPath := writeF1Files(t, 3*data.DefaultChunkRows, 512)
+
+	build := func(disable bool, reg *obs.Registry) *Tree {
+		t.Helper()
+		src, err := data.Open(colPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := colTestConfig()
+		cfg.Parallelism = 8
+		cfg.TempDir = t.TempDir()
+		cfg.DisableZoneSkip = disable
+		cfg.Metrics = reg
+		bt, err := Build(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bt
+	}
+
+	regOn := obs.NewRegistry()
+	on := build(false, regOn)
+	defer on.Close()
+	regOff := obs.NewRegistry()
+	off := build(true, regOff)
+	defer off.Close()
+
+	requireEqual(t, "zone skip on vs off", on.Tree(), off.Tree())
+	if err := on.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if skips := regOn.Snapshot().Counters["scan.blocks_skipped"]; skips == 0 {
+		t.Fatal("no blocks skipped on the clustered dataset; the test exercised nothing")
+	}
+	if skips := regOff.Snapshot().Counters["scan.blocks_skipped"]; skips != 0 {
+		t.Fatalf("DisableZoneSkip build still skipped %d blocks", skips)
+	}
+}
+
+// TestUpdateZoneSkipExactness: the streaming-update router's zone skip —
+// which must also feed the eager interval counters for skipped numeric
+// batches — leaves the tree identical to the unskipped descent, for both
+// insert and delete, while actually firing on clustered update chunks.
+func TestUpdateZoneSkipExactness(t *testing.T) {
+	base := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, 2*data.DefaultChunkRows, 31)
+	_, chunkPath := writeF1Files(t, data.DefaultChunkRows, 256)
+
+	build := func(disable bool, reg *obs.Registry) *Tree {
+		t.Helper()
+		cfg := colTestConfig()
+		cfg.Parallelism = 8
+		cfg.TempDir = t.TempDir()
+		cfg.DisableZoneSkip = disable
+		cfg.Metrics = reg
+		// Small update batches: each covers a narrow slice of the sorted
+		// age range, so block zones can decide whole batches at the root.
+		cfg.ScanChunkRows = 256
+		bt, err := Build(base, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bt
+	}
+
+	regOn := obs.NewRegistry()
+	on := build(false, regOn)
+	defer on.Close()
+	off := build(true, obs.NewRegistry())
+	defer off.Close()
+
+	apply := func(bt *Tree, op func(data.Source) (UpdateStats, error)) {
+		t.Helper()
+		src, err := data.Open(chunkPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := op(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply(on, on.Insert)
+	apply(off, off.Insert)
+	requireEqual(t, "after insert", on.Tree(), off.Tree())
+	if skips := regOn.Snapshot().Counters["update.blocks_skipped"]; skips == 0 {
+		t.Fatal("insert skipped no blocks on the clustered chunk; the test exercised nothing")
+	}
+
+	apply(on, on.Delete)
+	apply(off, off.Delete)
+	requireEqual(t, "after delete", on.Tree(), off.Tree())
+}

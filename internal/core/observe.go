@@ -17,10 +17,14 @@ type metricSet struct {
 	ciHit, ciMiss                                                  *obs.Counter
 	failNoCandidate, failBetterCat, failBound, failTie, failMoment *obs.Counter
 
-	// Cleanup scan.
-	scanTuples   *obs.Counter
-	stuckTuples  *obs.Counter
-	stuckPerNode *obs.Histogram
+	// Cleanup scan. blocksSkipped counts whole chunks the scan router
+	// descended by zone map alone (partition kernel bypassed);
+	// updBlocksSkipped is its streaming-update twin.
+	scanTuples       *obs.Counter
+	stuckTuples      *obs.Counter
+	stuckPerNode     *obs.Histogram
+	blocksSkipped    *obs.Counter
+	updBlocksSkipped *obs.Counter
 
 	// Rebuilds and leaf completion.
 	rebuildSubtrees, rebuildTuples, spillRebuilds *obs.Counter
@@ -52,6 +56,8 @@ func newMetricSet(r *obs.Registry) metricSet {
 		scanTuples:       r.Counter("scan.tuples"),
 		stuckTuples:      r.Counter("scan.stuck.tuples"),
 		stuckPerNode:     r.Histogram("scan.stuck.per_node"),
+		blocksSkipped:    r.Counter("scan.blocks_skipped"),
+		updBlocksSkipped: r.Counter("update.blocks_skipped"),
 		rebuildSubtrees:  r.Counter("rebuild.subtrees"),
 		rebuildTuples:    r.Counter("rebuild.tuples"),
 		spillRebuilds:    r.Counter("rebuild.spill"),

@@ -65,7 +65,7 @@ func (t *Tree) runCleanupScan(src data.Source, root *bnode, sp *obs.Span) (int64
 		if n, ok := src.Count(); !ok || n >= int64(2*t.cfg.chunkRows()) {
 			sp.SetAttr("mode", "sharded")
 			sp.SetAttr("workers", w)
-			seen, err := t.shardedScan(src, root, w)
+			seen, err := t.shardedScan(src, root, w, sp)
 			if err == nil || !data.IsSpillError(err) {
 				return seen, err
 			}
@@ -85,7 +85,7 @@ func (t *Tree) runCleanupScan(src data.Source, root *bnode, sp *obs.Span) (int64
 	if w := t.cfg.workers(); w <= 1 {
 		sp.SetAttr("mode", "sequential")
 	}
-	seen, err := t.sequentialScan(src, root)
+	seen, err := t.sequentialScan(src, root, sp)
 	if err != nil && data.IsSpillError(err) {
 		t.cfg.Stats.RecordScanRetry()
 		t.log.Warn("sequential cleanup scan hit a storage fault; retrying once", "err", err)
@@ -93,7 +93,7 @@ func (t *Tree) runCleanupScan(src data.Source, root *bnode, sp *obs.Span) (int64
 		if rerr := resetScanState(root); rerr != nil {
 			return seen, fmt.Errorf("core: resetting after failed cleanup scan: %w", rerr)
 		}
-		seen, err = t.sequentialScan(src, root)
+		seen, err = t.sequentialScan(src, root, sp)
 	}
 	return seen, err
 }
@@ -135,23 +135,86 @@ func deriveRoutingCounts(n *bnode) {
 
 // sequentialScan is the single-goroutine cleanup scan: chunked iteration
 // through an aliased shard view of the real tree, so the batch router is
-// shared with the sharded path and no merge step is needed.
-func (t *Tree) sequentialScan(src data.Source, root *bnode) (int64, error) {
+// shared with the sharded path and no merge step is needed. sp (nil ok)
+// receives the pipeline stage spans and zone-skip attribution.
+func (t *Tree) sequentialScan(src data.Source, root *bnode, sp *obs.Span) (int64, error) {
 	direct := newDirectTree(root)
 	rows := t.cfg.chunkRows()
 	sc := newRouteScratch(rows)
+	sc.zoneSkip = !t.cfg.DisableZoneSkip
 	start := time.Now()
+	csc, err := data.ScanChunksPipelined(src, t.cfg.pipelineCfg())
+	if err != nil {
+		return 0, err
+	}
 	var seen int64
-	err := data.ForEachChunk(src, rows, func(ch *data.Chunk) error {
+	ch := data.NewChunk(len(t.schema.Attributes), rows)
+	var scanErr error
+	for scanErr == nil {
+		ch.Reset()
+		err := csc.NextChunk(ch)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			scanErr = err
+			break
+		}
+		if ch.Len() == 0 {
+			continue
+		}
 		seen += int64(ch.Len())
-		return direct.routeChunk(ch, nil, sc, 0)
-	})
-	if err == nil {
+		scanErr = direct.routeChunk(ch, nil, sc, 0)
+	}
+	if cerr := csc.Close(); scanErr == nil {
+		scanErr = cerr
+	}
+	attachPipelineSpans(sp, csc)
+	if scanErr == nil {
 		// The sequential scan reports as shard 0 so the per-shard
 		// throughput metrics exist at every Parallelism setting.
 		t.recordShardThroughput(0, seen, time.Since(start).Seconds())
+		t.recordZoneSkips(sp, sc.skips)
 	}
-	return seen, err
+	return seen, scanErr
+}
+
+// attachPipelineSpans records a pipelined scanner's stage times — read
+// (filesystem wait), decode (checksum + expand, cumulative across
+// workers), deliver (consumer wait on the ordered ring) — as completed
+// child spans of the scan span, plus block/byte volume attributes. Must
+// run after the scanner is closed: the stage counters quiesce at Close.
+// A non-pipelined scanner (row files, in-memory sources, Depth < 0)
+// attaches nothing.
+func attachPipelineSpans(sp *obs.Span, csc data.ChunkScanner) {
+	if sp == nil || csc == nil {
+		return
+	}
+	pr, ok := csc.(data.PipelineReporter)
+	if !ok {
+		return
+	}
+	ps := pr.PipelineStats()
+	if !ps.Enabled {
+		return
+	}
+	sp.SetAttr("pipeline_depth", ps.Depth)
+	sp.SetAttr("pipeline_workers", ps.Workers)
+	sp.SetAttr("pipeline_blocks", ps.Blocks)
+	sp.SetAttr("pipeline_phys_bytes", ps.PhysBytes)
+	sp.AddCompleted("pipeline-read", ps.Start, ps.Read)
+	sp.AddCompleted("pipeline-decode", ps.Start, ps.Decode)
+	sp.AddCompleted("pipeline-deliver", ps.Start, ps.Deliver)
+}
+
+// recordZoneSkips publishes how many whole batches a scan routed by zone
+// map alone.
+func (t *Tree) recordZoneSkips(sp *obs.Span, skips int64) {
+	if skips == 0 {
+		return
+	}
+	t.met.blocksSkipped.Add(skips)
+	sp.SetAttr("blocks_skipped", skips)
 }
 
 // rowScan is the row-at-a-time cleanup scan (one root-to-stick descent
@@ -300,6 +363,48 @@ func newDirectTree(n *bnode) *shardNode {
 	return s
 }
 
+// zoneRoute decides whether a chunk's zone summary proves that every row
+// of the chunk routes down one side of the coarse criterion: -1 all-left,
+// +1 all-right, 0 undecided. The decisions are exactness-preserving —
+// they reproduce the per-row partition bit for bit:
+//
+//   - numeric all-right needs z.Min > c.hi: every bounded value takes the
+//     v > hi branch, and any NaN rows (excluded from Min/Max) take the
+//     same pinned right edge, so HasNaN does not block the skip;
+//   - numeric all-left needs z.Max < c.lo *strictly* and no NaN: no row
+//     can be stuck, and no row equals c.lo, so eqLow stays untouched;
+//   - categorical skips need the exact code bitmap (CodesValid): codes
+//     covered by the subset all go left, codes disjoint from it (or >= 64,
+//     which never set a bitmap bit and never match the subset) all go
+//     right.
+//
+// The zone summarizes the whole chunk, so the decision holds for every
+// subset of its rows — an idx batch deep in the descent included.
+func zoneRoute(c *coarseCrit, z data.ColZone) int {
+	if c.kind == data.Categorical {
+		if !z.CodesValid {
+			return 0
+		}
+		if z.Codes&^c.subset == 0 && z.Codes != 0 {
+			return -1
+		}
+		if z.Codes&c.subset == 0 {
+			return +1
+		}
+		return 0
+	}
+	if !z.Valid {
+		return 0
+	}
+	if z.Min > c.hi {
+		return +1
+	}
+	if !z.HasNaN && z.Max < c.lo {
+		return -1
+	}
+	return 0
+}
+
 // routeScratch holds the per-depth index buffers of one goroutine's
 // level-synchronous descent: the partition written at depth d stays live
 // while the children recurse with the buffers of depth d+1 and below.
@@ -307,6 +412,11 @@ func newDirectTree(n *bnode) *shardNode {
 type routeScratch struct {
 	rows   int
 	levels [][3][]int32 // per depth: left, right, stuck
+
+	// zoneSkip enables zone-map block skipping; skips counts the nodes at
+	// which a whole batch was routed by zone alone this scan.
+	zoneSkip bool
+	skips    int64
 }
 
 func newRouteScratch(rows int) *routeScratch { return &routeScratch{rows: rows} }
@@ -368,6 +478,25 @@ func (s *shardNode) routeChunk(ch *data.Chunk, idx []int32, sc *routeScratch, de
 	// in the results). Only the stuck rows — which descend no further —
 	// have their classes counted here.
 	c := n.coarse
+	if sc.zoneSkip {
+		// Zone-map pushdown: when the chunk's column summary proves every
+		// row routes down one side, descend the whole batch directly and
+		// skip the partition kernel. The statistics kernels above already
+		// ran (they need every row at this node), and the insert-only
+		// scan's deferred class counting makes the bypass free of
+		// bookkeeping: a skip decision implies no stuck rows and no
+		// v == c.lo rows, so eqLow and the stuck path are untouched by
+		// construction.
+		if z, ok := ch.Zone(c.attr); ok {
+			if dir := zoneRoute(c, z); dir != 0 {
+				sc.skips++
+				if dir < 0 {
+					return s.left.routeChunk(ch, idx, sc, depth+1)
+				}
+				return s.right.routeChunk(ch, idx, sc, depth+1)
+			}
+		}
+	}
 	col := ch.Col(c.attr)
 	left, right, stuck := sc.at(depth)
 	if c.kind == data.Categorical {
@@ -528,7 +657,7 @@ func (s *shardNode) close() {
 // tree, then merges the shadow trees in worker order. The round-robin
 // deal plus ordered merge makes the merged buffers deterministic for a
 // given worker count.
-func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
+func (t *Tree) shardedScan(src data.Source, root *bnode, w int, sp *obs.Span) (int64, error) {
 	budgets := t.budget.Split(w)
 	shards := make([]*shardNode, w)
 	for i := range shards {
@@ -544,6 +673,7 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 		workErr error
 		failed  = make(chan struct{})
 		routed  = make([]int64, w) // per-shard tuple intake, for throughput metrics
+		skipped = make([]int64, w) // per-shard zone-skip counts
 	)
 	fail := func(err error) {
 		errOnce.Do(func() {
@@ -555,9 +685,10 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 	for i := range chans {
 		chans[i] = make(chan *data.Chunk, 2)
 		wg.Add(1)
-		go func(shard *shardNode, in <-chan *data.Chunk, routed *int64) {
+		go func(shard *shardNode, in <-chan *data.Chunk, routed, skipped *int64) {
 			defer wg.Done()
 			sc := newRouteScratch(rows)
+			sc.zoneSkip = !t.cfg.DisableZoneSkip
 			ok := true
 			for chunk := range in {
 				if ok {
@@ -569,14 +700,17 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 				}
 				pool.Put(chunk)
 			}
-		}(shards[i], chans[i], &routed[i])
+			*skipped = sc.skips
+		}(shards[i], chans[i], &routed[i], &skipped[i])
 	}
 
 	// Deal chunks round-robin. The dealer owns each chunk until the send;
 	// the worker returns it to the pool after routing.
 	var seen int64
+	var csc data.ChunkScanner
 	scanErr := func() error {
-		csc, err := data.ScanChunks(src)
+		var err error
+		csc, err = data.ScanChunksPipelined(src, t.cfg.pipelineCfg())
 		if err != nil {
 			return err
 		}
@@ -611,6 +745,7 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 		close(ch)
 	}
 	wg.Wait()
+	attachPipelineSpans(sp, csc)
 	if scanErr == nil && workErr != nil {
 		scanErr = workErr
 	}
@@ -622,9 +757,12 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int) (int64, error) {
 	}
 
 	secs := time.Since(start).Seconds()
+	var skips int64
 	for i, n := range routed {
 		t.recordShardThroughput(i, n, secs)
+		skips += skipped[i]
 	}
+	t.recordZoneSkips(sp, skips)
 	for i, s := range shards {
 		if err := s.merge(); err != nil {
 			// Close the failed shard too: merge returns mid-walk with its

@@ -113,7 +113,7 @@ func (b *ScanBench) RunOnce(mode ScanMode) (int64, error) {
 	case ScanModeRow:
 		return b.tree.rowScan(b.src, b.root)
 	case ScanModeChunk:
-		seen, err := b.tree.sequentialScan(b.src, b.root)
+		seen, err := b.tree.sequentialScan(b.src, b.root, nil)
 		if err == nil {
 			deriveRoutingCounts(b.root)
 		}
@@ -123,7 +123,7 @@ func (b *ScanBench) RunOnce(mode ScanMode) (int64, error) {
 		if w < 2 {
 			w = 2
 		}
-		seen, err := b.tree.shardedScan(b.src, b.root, w)
+		seen, err := b.tree.shardedScan(b.src, b.root, w, nil)
 		if err == nil {
 			deriveRoutingCounts(b.root)
 		}

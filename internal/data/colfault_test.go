@@ -1,0 +1,224 @@
+// Fault-injection coverage for the columnar read path. These tests live in
+// package data_test because they drive internal/faultfs, which itself
+// imports internal/data.
+package data_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/faultfs"
+)
+
+func writeFaultFile(t *testing.T, n, blockRows int) (string, *data.Schema) {
+	t.Helper()
+	schema := data.MustSchema([]data.Attribute{
+		{Name: "a", Kind: data.Numeric},
+		{Name: "b", Kind: data.Numeric},
+	}, 2)
+	tuples := make([]data.Tuple, n)
+	for i := range tuples {
+		tuples[i] = data.Tuple{Values: []float64{float64(i), float64(i % 13)}, Class: i % 2}
+	}
+	path := t.TempDir() + "/f.boatc"
+	if _, err := data.WriteColFile(path, data.NewMemSource(schema, tuples), blockRows); err != nil {
+		t.Fatal(err)
+	}
+	return path, schema
+}
+
+// noSleep is the retry policy used under injection: generous attempts, no
+// wall-clock waits.
+var noSleep = data.RetryPolicy{Attempts: 6, Sleep: func(time.Duration) {}}
+
+func drainCol(t *testing.T, src *data.ColSource, chunkRows int) (int, error) {
+	t.Helper()
+	sc, err := src.ScanChunks()
+	if err != nil {
+		return 0, err
+	}
+	defer sc.Close()
+	ch := data.NewChunk(2, chunkRows)
+	rows := 0
+	for {
+		ch.Reset()
+		err := sc.NextChunk(ch)
+		rows += ch.Len()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return rows, err
+		}
+		if ch.Len() == 0 {
+			return rows, nil
+		}
+	}
+}
+
+// TestColFaultTransientOpenRetried: transient faults on the scan's open are
+// absorbed by the retry policy; the scan then delivers everything.
+func TestColFaultTransientOpenRetried(t *testing.T) {
+	path, _ := writeFaultFile(t, 500, 64)
+	fs := faultfs.New(nil, faultfs.Config{
+		Seed: 1, OpenProb: 1, TransientFraction: 1, MaxFaults: 2,
+	})
+	src, err := data.OpenColFile(path, data.ColOptions{FS: fs, Retry: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := drainCol(t, src, 64)
+	if err != nil || rows != 500 {
+		t.Fatalf("scan = (%d rows, %v), want (500, nil)", rows, err)
+	}
+	if st := fs.Stats(); st.Faults != 2 || st.Transient != 2 {
+		t.Fatalf("injected %+v, want 2 transient faults consumed by retries", st)
+	}
+}
+
+// TestColFaultTransientReadRetried: transient mid-scan read faults retry in
+// place without corrupting the delivered stream, on both scan paths.
+func TestColFaultTransientReadRetried(t *testing.T) {
+	path, _ := writeFaultFile(t, 2000, 64)
+	for _, depth := range []int{-1, 4} {
+		t.Run(fmt.Sprintf("depth%d", depth), func(t *testing.T) {
+			// Every read faults until the cap: bufio coalesces the small
+			// file into very few underlying reads, so probabilistic
+			// injection would rarely fire.
+			fs := faultfs.New(nil, faultfs.Config{
+				Seed: 7, ReadProb: 1, TransientFraction: 1, MaxFaults: 4,
+			})
+			src, err := data.OpenColFile(path, data.ColOptions{
+				FS: fs, Retry: noSleep,
+				Pipeline: data.PipelineConfig{Depth: depth, Workers: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := drainCol(t, src, 100)
+			if err != nil || rows != 2000 {
+				t.Fatalf("scan = (%d rows, %v), want (2000, nil)", rows, err)
+			}
+			if st := fs.Stats(); st.Faults == 0 {
+				t.Fatal("injection never fired; the test exercised nothing")
+			}
+		})
+	}
+}
+
+// TestColFaultPermanentOpen: permanent open faults are not retried and
+// surface from the scan's open before any goroutine starts.
+func TestColFaultPermanentOpen(t *testing.T) {
+	path, _ := writeFaultFile(t, 200, 64)
+	fs := faultfs.New(nil, faultfs.Config{
+		Seed: 3, OpenProb: 1, TransientFraction: 0, MaxFaults: 1,
+	})
+	src, err := data.OpenColFile(path, data.ColOptions{FS: fs, Retry: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	if _, err := src.ScanChunks(); err == nil {
+		t.Fatal("scan opened through a permanent fault")
+	} else {
+		var f *faultfs.Fault
+		if !errors.As(err, &f) {
+			t.Fatalf("error %v does not expose the injected fault", err)
+		}
+	}
+	if st := fs.Stats(); st.Faults != 1 {
+		t.Fatalf("injected %+v, want exactly one permanent fault (no retries)", st)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// failNthReadFS fails the nth underlying read with a permanent error,
+// deterministically, so the fault lands mid-stream regardless of bufio's
+// read coalescing.
+type failNthReadFS struct {
+	n     int64
+	reads atomic.Int64
+}
+
+func (f *failNthReadFS) CreateTemp(dir, pattern string) (data.File, error) {
+	return data.OsFS{}.CreateTemp(dir, pattern)
+}
+func (f *failNthReadFS) Remove(name string) error { return data.OsFS{}.Remove(name) }
+func (f *failNthReadFS) Rename(oldpath, newpath string) error {
+	return data.OsFS{}.Rename(oldpath, newpath)
+}
+func (f *failNthReadFS) Open(name string) (io.ReadCloser, error) {
+	rc, err := data.OsFS{}.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failNthReader{fs: f, rc: rc}, nil
+}
+
+type failNthReader struct {
+	fs *failNthReadFS
+	rc io.ReadCloser
+}
+
+var errDiskGone = errors.New("simulated permanent media failure")
+
+func (r *failNthReader) Read(p []byte) (int, error) {
+	if r.fs.reads.Add(1) > r.fs.n {
+		return 0, errDiskGone
+	}
+	// Cap read size so the stream needs many underlying reads and the
+	// failure lands mid-file.
+	if len(p) > 1024 {
+		p = p[:1024]
+	}
+	return r.rc.Read(p)
+}
+
+func (r *failNthReader) Close() error { return r.rc.Close() }
+
+// TestColFaultPermanentReadMidScan: a permanent read failure mid-stream
+// surfaces from the pipelined scan after the preceding blocks were
+// delivered, and Close reclaims every pipeline goroutine.
+func TestColFaultPermanentReadMidScan(t *testing.T) {
+	path, _ := writeFaultFile(t, 2000, 64)
+	baseline := runtime.NumGoroutine()
+	fs := &failNthReadFS{n: 8} // 8 KiB in, then the disk "dies"
+	src, err := data.OpenColFile(path, data.ColOptions{
+		FS: fs, Retry: noSleep,
+		Pipeline: data.PipelineConfig{Depth: 4, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := drainCol(t, src, 64)
+	if !errors.Is(err, errDiskGone) {
+		t.Fatalf("scan error %v, want the injected permanent failure", err)
+	}
+	if rows <= 0 || rows >= 2000 {
+		t.Fatalf("%d rows delivered, want a mid-stream prefix", rows)
+	}
+	if rows%64 != 0 {
+		t.Fatalf("%d rows delivered, want whole blocks only", rows)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// waitGoroutines polls until the goroutine count falls back to baseline.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,416 @@
+package data
+
+import (
+	"errors"
+	"math"
+	"os"
+	"testing"
+)
+
+func colTestSchema() *Schema {
+	return MustSchema([]Attribute{
+		{Name: "salary", Kind: Numeric},
+		{Name: "grade", Kind: Categorical, Cardinality: 8},
+		{Name: "ratio", Kind: Numeric},
+	}, 3)
+}
+
+func colTestTuples(n int) []Tuple {
+	out := make([]Tuple, n)
+	for i := range out {
+		out[i] = Tuple{
+			Values: []float64{
+				1000 + float64(i%250),  // u8-encodable integer span
+				float64(i % 8),         // small categorical codes
+				0.5 + float64(i%7)*0.5, // fractional -> raw encoding
+			},
+			Class: i % 3,
+		}
+	}
+	return out
+}
+
+func writeColTestFile(t *testing.T, tuples []Tuple, blockRows int) string {
+	t.Helper()
+	path := t.TempDir() + "/d.boatc"
+	src := NewMemSource(colTestSchema(), tuples)
+	if n, err := WriteColFile(path, src, blockRows); err != nil || n != int64(len(tuples)) {
+		t.Fatalf("WriteColFile = (%d, %v), want (%d, nil)", n, err, len(tuples))
+	}
+	return path
+}
+
+func requireSourceTuples(t *testing.T, label string, src Source, want []Tuple) {
+	t.Helper()
+	got, err := ReadAll(src)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d tuples, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Class != want[i].Class {
+			t.Fatalf("%s: tuple %d class %d, want %d", label, i, got[i].Class, want[i].Class)
+		}
+		for a, v := range got[i].Values {
+			w := want[i].Values[a]
+			if v != w && !(v != v && w != w) {
+				t.Fatalf("%s: tuple %d attr %d = %v, want %v", label, i, a, v, w)
+			}
+		}
+	}
+}
+
+// TestColFileRoundTrip: every tuple written comes back bit-identical, on
+// the row adapter, the synchronous chunked scan and the pipelined scan,
+// including a short final block.
+func TestColFileRoundTrip(t *testing.T) {
+	tuples := colTestTuples(1000)
+	path := writeColTestFile(t, tuples, 128) // 7 full blocks + 104-row tail
+
+	s, err := OpenColFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := s.Count(); !ok || n != 1000 {
+		t.Fatalf("Count = (%d, %v), want (1000, true)", n, ok)
+	}
+	if s.Blocks() != 8 || s.BlockRows() != 128 {
+		t.Fatalf("Blocks/BlockRows = %d/%d, want 8/128", s.Blocks(), s.BlockRows())
+	}
+	requireSourceTuples(t, "row adapter", s, tuples)
+
+	sync, err := OpenColFile(path, ColOptions{Pipeline: PipelineConfig{Depth: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSourceTuples(t, "sync chunked", sync, tuples)
+}
+
+// TestColFileNaN: NaN values survive the round trip (they force the raw
+// encoding and set the zone's NaN flag).
+func TestColFileNaN(t *testing.T) {
+	tuples := colTestTuples(100)
+	tuples[3].Values[0] = math.NaN()
+	tuples[97].Values[2] = math.NaN()
+	path := writeColTestFile(t, tuples, 64)
+	s, err := OpenColFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSourceTuples(t, "with NaN", s, tuples)
+}
+
+// TestColumnEncodings drives appendColumn/decodeColumn through every
+// segment encoding and checks the zone summary computed alongside.
+func TestColumnEncodings(t *testing.T) {
+	cases := []struct {
+		name    string
+		col     []float64
+		enc     byte
+		valid   bool
+		codesOK bool
+		hasNaN  bool
+	}{
+		{"const", []float64{7, 7, 7, 7}, colEncConst, true, true, false},
+		{"u8", []float64{0, 100, 200, 13}, colEncU8, true, false, false},
+		{"u8-negative", []float64{-5, 0, 5, -2}, colEncU8, true, false, false},
+		{"u16", []float64{0, 60000, 31337, 2}, colEncU16, true, false, false},
+		{"u32", []float64{0, 1e9, 77, 12345678}, colEncU32, true, false, false},
+		{"raw-fractional", []float64{0.5, 1.25, -3.75}, colEncRaw, true, false, false},
+		{"raw-nan", []float64{1, math.NaN(), 3}, colEncRaw, true, false, true},
+		{"codes", []float64{0, 3, 63, 3}, colEncU8, true, true, false},
+		{"all-nan", []float64{math.NaN(), math.NaN()}, colEncRaw, false, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := appendColumn(nil, tc.col)
+			if got := buf[0]; got != tc.enc {
+				t.Fatalf("encoding = %d, want %d", got, tc.enc)
+			}
+			dst := make([]float64, len(tc.col))
+			off, z, err := decodeColumn(buf, 0, len(tc.col), dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off != len(buf) {
+				t.Fatalf("decode consumed %d of %d bytes", off, len(buf))
+			}
+			for i, v := range dst {
+				w := tc.col[i]
+				if v != w && !(v != v && w != w) {
+					t.Fatalf("row %d = %v, want %v", i, v, w)
+				}
+			}
+			if z.Valid != tc.valid || z.CodesValid != tc.codesOK || z.HasNaN != tc.hasNaN {
+				t.Fatalf("zone = %+v, want valid=%v codesOK=%v hasNaN=%v", z, tc.valid, tc.codesOK, tc.hasNaN)
+			}
+			if z.Valid {
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for _, v := range tc.col {
+					if v != v {
+						continue
+					}
+					lo, hi = math.Min(lo, v), math.Max(hi, v)
+				}
+				if z.Min != lo || z.Max != hi {
+					t.Fatalf("zone bounds [%v, %v], want [%v, %v]", z.Min, z.Max, lo, hi)
+				}
+			}
+			if z.CodesValid {
+				var want uint64
+				for _, v := range tc.col {
+					want |= 1 << uint(v)
+				}
+				if z.Codes != want {
+					t.Fatalf("codes bitmap %b, want %b", z.Codes, want)
+				}
+			}
+		})
+	}
+}
+
+// TestColFileZones: chunks delivered by the chunked scans carry zone
+// summaries that exactly bound their rows, merging across blocks when a
+// destination chunk spans more than one.
+func TestColFileZones(t *testing.T) {
+	tuples := make([]Tuple, 96) // sorted ages, 3 blocks of 32
+	for i := range tuples {
+		tuples[i] = Tuple{Values: []float64{float64(i), float64(i % 4), 0.5}, Class: 0}
+	}
+	path := writeColTestFile(t, tuples, 32)
+	s, err := OpenColFile(path, ColOptions{Pipeline: PipelineConfig{Depth: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One block per chunk: block-precise zones.
+	sc, err := s.ScanChunks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	ch := NewChunk(3, 32)
+	for b := 0; b < 3; b++ {
+		ch.Reset()
+		if err := sc.NextChunk(ch); err != nil {
+			t.Fatal(err)
+		}
+		z, ok := ch.Zone(0)
+		if !ok || !z.Valid {
+			t.Fatalf("block %d: no valid zone", b)
+		}
+		if z.Min != float64(32*b) || z.Max != float64(32*b+31) {
+			t.Fatalf("block %d zone [%v, %v], want [%d, %d]", b, z.Min, z.Max, 32*b, 32*b+31)
+		}
+		zc, ok := ch.Zone(1)
+		if !ok || !zc.CodesValid || zc.Codes != 0b1111 {
+			t.Fatalf("block %d categorical zone = %+v, want codes 0b1111", b, zc)
+		}
+	}
+
+	// Two blocks per chunk: zones merge and still cover every row.
+	sc2, err := s.ScanChunks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc2.Close()
+	wide := NewChunk(3, 64)
+	if err := sc2.NextChunk(wide); err != nil {
+		t.Fatal(err)
+	}
+	z, ok := wide.Zone(0)
+	if !ok || z.Min != 0 || z.Max != 63 {
+		t.Fatalf("merged zone = %+v (ok=%v), want [0, 63]", z, ok)
+	}
+}
+
+// TestColFileTornFile: a file missing its footer — the shape a crashed
+// writer leaves behind — is rejected at open with ErrColTruncated.
+func TestColFileTornFile(t *testing.T) {
+	path := writeColTestFile(t, colTestTuples(300), 128)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int64{5, colFooterLen, st.Size() / 2} {
+		if err := os.Truncate(path, st.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenColFile(path); !errors.Is(err, ErrColTruncated) {
+			t.Fatalf("open after losing %d bytes: %v, want ErrColTruncated", cut, err)
+		}
+	}
+}
+
+// TestColFileChecksumMismatch: a flipped payload byte surfaces as a typed
+// block-located checksum error on both scan paths, after the blocks before
+// it were delivered intact.
+func TestColFileChecksumMismatch(t *testing.T) {
+	tuples := colTestTuples(300)
+	path := writeColTestFile(t, tuples, 128)
+	s, err := OpenColFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte inside the second block's body.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 1)
+	blk1 := s.headerLen + 4 + blockLenAt(t, path, s.headerLen) + 4 // past block 0
+	if _, err := f.ReadAt(raw, blk1+10); err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF
+	if _, err := f.WriteAt(raw, blk1+10); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, depth := range []int{-1, 4} {
+		src, err := OpenColFile(path, ColOptions{Pipeline: PipelineConfig{Depth: depth}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := src.ScanChunks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := NewChunk(3, 128)
+		var rows int
+		var scanErr error
+		for {
+			ch.Reset()
+			if scanErr = sc.NextChunk(ch); scanErr != nil {
+				break
+			}
+			if ch.Len() == 0 {
+				break
+			}
+			rows += ch.Len()
+		}
+		sc.Close()
+		if !errors.Is(scanErr, ErrColChecksum) {
+			t.Fatalf("depth %d: scan error %v, want ErrColChecksum", depth, scanErr)
+		}
+		var be *BlockError
+		if !errors.As(scanErr, &be) || be.Block != 1 {
+			t.Fatalf("depth %d: error %v, want BlockError at block 1", depth, scanErr)
+		}
+		if rows != 128 {
+			t.Fatalf("depth %d: %d rows before the error, want 128 (block 0 intact)", depth, rows)
+		}
+	}
+}
+
+// blockLenAt reads the length prefix of the block starting at off.
+func blockLenAt(t *testing.T, path string, off int64) int64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var pre [4]byte
+	if _, err := f.ReadAt(pre[:], off); err != nil {
+		t.Fatal(err)
+	}
+	return int64(uint32(pre[0]) | uint32(pre[1])<<8 | uint32(pre[2])<<16 | uint32(pre[3])<<24)
+}
+
+// TestColFileImplausibleBlockLength: a mangled length prefix is corruption,
+// reported block-precisely, not an allocation request.
+func TestColFileImplausibleBlockLength(t *testing.T) {
+	path := writeColTestFile(t, colTestTuples(200), 128)
+	s, err := OpenColFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0x7F}, s.headerLen); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	src, err := OpenColFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := src.ScanChunks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	ch := NewChunk(3, 128)
+	scanErr := sc.NextChunk(ch)
+	var be *BlockError
+	if !errors.Is(scanErr, ErrColTruncated) || !errors.As(scanErr, &be) || be.Block != 0 {
+		t.Fatalf("scan error %v, want ErrColTruncated in a BlockError at block 0", scanErr)
+	}
+}
+
+// TestOpenSniffsFormat: Open dispatches on the magic to the right source
+// type and rejects files that are neither format.
+func TestOpenSniffsFormat(t *testing.T) {
+	tuples := colTestTuples(50)
+	colPath := writeColTestFile(t, tuples, 0)
+	dir := t.TempDir()
+	rowPath := dir + "/d.boat"
+	if _, err := WriteFile(rowPath, NewMemSource(colTestSchema(), tuples), FormatCompact); err != nil {
+		t.Fatal(err)
+	}
+
+	cs, err := Open(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cs.(*ColSource); !ok {
+		t.Fatalf("Open(%s) = %T, want *ColSource", colPath, cs)
+	}
+	rs, err := Open(rowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rs.(*FileSource); !ok {
+		t.Fatalf("Open(%s) = %T, want *FileSource", rowPath, rs)
+	}
+	requireSourceTuples(t, "sniffed columnar", cs, tuples)
+	requireSourceTuples(t, "sniffed row", rs, tuples)
+
+	junk := dir + "/junk"
+	if err := os.WriteFile(junk, []byte("definitely not a dataset"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(junk); err == nil {
+		t.Fatal("Open accepted a non-dataset file")
+	}
+}
+
+// TestWriteColFileConvertsRowFile: the conversion path (row FileSource in,
+// columnar out) preserves the tuple stream exactly.
+func TestWriteColFileConvertsRowFile(t *testing.T) {
+	tuples := colTestTuples(700)
+	dir := t.TempDir()
+	rowPath := dir + "/d.boat"
+	if _, err := WriteFile(rowPath, NewMemSource(colTestSchema(), tuples), FormatCompact); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(rowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colPath := dir + "/d.boatc"
+	if n, err := WriteColFile(colPath, fs, 256); err != nil || n != 700 {
+		t.Fatalf("convert = (%d, %v), want (700, nil)", n, err)
+	}
+	cs, err := OpenColFile(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSourceTuples(t, "converted", cs, tuples)
+}

@@ -92,22 +92,61 @@ func DecodeTupleInto(buf []byte, f Format, dst *Tuple) {
 	decodeTuple(buf, f, dst)
 }
 
+// appendSchema appends the self-describing schema encoding shared by the
+// row and columnar file headers: class count, attribute count, and the
+// attribute list.
+func appendSchema(buf []byte, s *Schema) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.ClassCount))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Attributes)))
+	for _, a := range s.Attributes {
+		buf = append(buf, byte(a.Kind))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a.Cardinality))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a.Name)))
+		buf = append(buf, a.Name...)
+	}
+	return buf
+}
+
+// readSchema parses the schema encoding emitted by appendSchema.
+func readSchema(r io.Reader) (*Schema, error) {
+	var fixed [8]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("data: reading schema: %w", err)
+	}
+	classCount := int(binary.LittleEndian.Uint32(fixed[0:]))
+	nAttrs := int(binary.LittleEndian.Uint32(fixed[4:]))
+	if nAttrs <= 0 || nAttrs > 1<<16 {
+		return nil, fmt.Errorf("data: implausible attribute count %d", nAttrs)
+	}
+	attrs := make([]Attribute, nAttrs)
+	for i := range attrs {
+		var meta [9]byte
+		if _, err := io.ReadFull(r, meta[:]); err != nil {
+			return nil, fmt.Errorf("data: reading attribute %d: %w", i, err)
+		}
+		attrs[i].Kind = Kind(meta[0])
+		attrs[i].Cardinality = int(binary.LittleEndian.Uint32(meta[1:]))
+		nameLen := int(binary.LittleEndian.Uint32(meta[5:]))
+		if nameLen > 1<<12 {
+			return nil, fmt.Errorf("data: implausible attribute name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("data: reading attribute %d name: %w", i, err)
+		}
+		attrs[i].Name = string(name)
+	}
+	return NewSchema(attrs, classCount)
+}
+
 // writeHeader emits the self-describing file header: magic, version,
 // format, class count, and the attribute list.
 func writeHeader(w io.Writer, f Format, s *Schema) error {
 	if _, err := io.WriteString(w, fileMagic); err != nil {
 		return err
 	}
-	var hdr []byte
-	hdr = append(hdr, byte(fileVersion), byte(f))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(s.ClassCount))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(s.Attributes)))
-	for _, a := range s.Attributes {
-		hdr = append(hdr, byte(a.Kind))
-		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(a.Cardinality))
-		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(a.Name)))
-		hdr = append(hdr, a.Name...)
-	}
+	hdr := append([]byte(nil), byte(fileVersion), byte(f))
+	hdr = appendSchema(hdr, s)
 	_, err := w.Write(hdr)
 	return err
 }
@@ -121,7 +160,7 @@ func readHeader(r io.Reader) (Format, *Schema, error) {
 	if string(magic) != fileMagic {
 		return 0, nil, errors.New("data: not a BOAT data file (bad magic)")
 	}
-	var fixed [10]byte
+	var fixed [2]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
 		return 0, nil, fmt.Errorf("data: reading header: %w", err)
 	}
@@ -132,30 +171,7 @@ func readHeader(r io.Reader) (Format, *Schema, error) {
 	if !f.valid() {
 		return 0, nil, fmt.Errorf("data: unknown format %d", fixed[1])
 	}
-	classCount := int(binary.LittleEndian.Uint32(fixed[2:]))
-	nAttrs := int(binary.LittleEndian.Uint32(fixed[6:]))
-	if nAttrs <= 0 || nAttrs > 1<<16 {
-		return 0, nil, fmt.Errorf("data: implausible attribute count %d", nAttrs)
-	}
-	attrs := make([]Attribute, nAttrs)
-	for i := range attrs {
-		var meta [9]byte
-		if _, err := io.ReadFull(r, meta[:]); err != nil {
-			return 0, nil, fmt.Errorf("data: reading attribute %d: %w", i, err)
-		}
-		attrs[i].Kind = Kind(meta[0])
-		attrs[i].Cardinality = int(binary.LittleEndian.Uint32(meta[1:]))
-		nameLen := int(binary.LittleEndian.Uint32(meta[5:]))
-		if nameLen > 1<<12 {
-			return 0, nil, fmt.Errorf("data: implausible attribute name length %d", nameLen)
-		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(r, name); err != nil {
-			return 0, nil, fmt.Errorf("data: reading attribute %d name: %w", i, err)
-		}
-		attrs[i].Name = string(name)
-	}
-	schema, err := NewSchema(attrs, classCount)
+	schema, err := readSchema(r)
 	if err != nil {
 		return 0, nil, err
 	}

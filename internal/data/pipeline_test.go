@@ -1,0 +1,323 @@
+package data
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// writePipelineFile materializes n two-attribute tuples into a columnar
+// file with the given block size and returns its path.
+func writePipelineFile(t *testing.T, n, blockRows int) string {
+	t.Helper()
+	schema := MustSchema([]Attribute{
+		{Name: "a", Kind: Numeric},
+		{Name: "b", Kind: Numeric},
+	}, 2)
+	tuples := make([]Tuple, n)
+	for i := range tuples {
+		tuples[i] = Tuple{Values: []float64{float64(i), float64(i % 97)}, Class: i % 2}
+	}
+	path := t.TempDir() + "/p.boatc"
+	if _, err := WriteColFile(path, NewMemSource(schema, tuples), blockRows); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// drainPipeline reads the whole file under cfg and returns the first
+// column's values in delivery order.
+func drainPipeline(t *testing.T, path string, cfg PipelineConfig, chunkRows int) []float64 {
+	t.Helper()
+	s, err := OpenColFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.ScanChunksPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	ch := NewChunk(2, chunkRows)
+	var out []float64
+	for {
+		ch.Reset()
+		err := sc.NextChunk(ch)
+		out = append(out, ch.Col(0)...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Len() == 0 {
+			return out
+		}
+	}
+}
+
+// TestPipelineDeterminism is the pipeline's core contract: the delivered
+// tuple stream is bit-identical to the synchronous reader at every depth,
+// worker count and consumer chunk size.
+func TestPipelineDeterminism(t *testing.T) {
+	const n = 1300
+	path := writePipelineFile(t, n, 64) // 21 blocks, short tail
+	ref := drainPipeline(t, path, PipelineConfig{Depth: -1}, 64)
+	if len(ref) != n {
+		t.Fatalf("reference scan saw %d rows, want %d", len(ref), n)
+	}
+	configs := []PipelineConfig{
+		{Depth: 1, Workers: 1},
+		{Depth: 4, Workers: 1},
+		{Depth: 4, Workers: 4},
+		{Depth: 8, Workers: 2},
+		{}, // defaults
+	}
+	for _, cfg := range configs {
+		for _, chunkRows := range []int{64, 100, 512} {
+			name := fmt.Sprintf("d%d-w%d-c%d", cfg.Depth, cfg.Workers, chunkRows)
+			got := drainPipeline(t, path, cfg, chunkRows)
+			if len(got) != n {
+				t.Fatalf("%s: %d rows, want %d", name, len(got), n)
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("%s: row %d = %v, want %v (delivery out of file order)", name, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineErrorOrdering: an error in block k surfaces only after every
+// block before k was delivered, on the same ordered path as the data.
+func TestPipelineErrorOrdering(t *testing.T) {
+	path := writePipelineFile(t, 1300, 64)
+	s, err := OpenColFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find block 5's offset by walking the length prefixes, then flip a
+	// payload byte.
+	off := s.headerLen
+	for b := 0; b < 5; b++ {
+		off += 4 + blockLenAt(t, path, off) + 4
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 1)
+	if _, err := f.ReadAt(raw, off+20); err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0x55
+	if _, err := f.WriteAt(raw, off+20); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	src, err := OpenColFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := src.ScanChunksPipeline(PipelineConfig{Depth: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	ch := NewChunk(2, 64)
+	rows := 0
+	var scanErr error
+	for {
+		ch.Reset()
+		if scanErr = sc.NextChunk(ch); scanErr != nil {
+			break
+		}
+		if ch.Len() == 0 {
+			break
+		}
+		rows += ch.Len()
+	}
+	if !errors.Is(scanErr, ErrColChecksum) {
+		t.Fatalf("scan error %v, want ErrColChecksum", scanErr)
+	}
+	var be *BlockError
+	if !errors.As(scanErr, &be) || be.Block != 5 {
+		t.Fatalf("error %v, want BlockError at block 5", scanErr)
+	}
+	if rows != 5*64 {
+		t.Fatalf("%d rows delivered before the error, want %d (blocks 0-4 intact, in order)", rows, 5*64)
+	}
+}
+
+// requireGoroutinesSettle waits for the goroutine count to return to the
+// baseline, failing if pipeline goroutines leak.
+func requireGoroutinesSettle(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPipelineEarlyClose: abandoning a scan mid-stream reclaims the reader
+// and every decode worker, whether or not any chunk was consumed.
+func TestPipelineEarlyClose(t *testing.T) {
+	path := writePipelineFile(t, 2000, 64)
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		s, err := OpenColFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := s.ScanChunksPipeline(PipelineConfig{Depth: 4, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round > 0 { // round 0 closes without consuming anything
+			ch := NewChunk(2, 64)
+			if err := sc.NextChunk(ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Close(); err != nil { // Close is idempotent
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+	requireGoroutinesSettle(t, baseline)
+}
+
+// TestPipelineNextAfterClose: a closed pipeline refuses further reads
+// instead of deadlocking on its torn-down ring.
+func TestPipelineNextAfterClose(t *testing.T) {
+	path := writePipelineFile(t, 200, 64)
+	s, err := OpenColFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.ScanChunksPipeline(PipelineConfig{Depth: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.NextChunk(NewChunk(2, 64)); err == nil || err == io.EOF {
+		t.Fatalf("NextChunk after Close = %v, want an error", err)
+	}
+}
+
+// TestPipelineStats: a completed pipelined scan reports its configuration
+// and volumes; the synchronous path reports nothing.
+func TestPipelineStats(t *testing.T) {
+	const n = 1300
+	path := writePipelineFile(t, n, 64)
+	s, err := OpenColFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.ScanChunksPipeline(PipelineConfig{Depth: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	ch := NewChunk(2, 256)
+	for {
+		ch.Reset()
+		if err := sc.NextChunk(ch); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Len() == 0 {
+			break
+		}
+	}
+	pr, ok := sc.(PipelineReporter)
+	if !ok {
+		t.Fatal("pipelined scanner does not report stats")
+	}
+	ps := pr.PipelineStats()
+	if !ps.Enabled || ps.Depth != 4 || ps.Workers != 2 {
+		t.Fatalf("stats = %+v, want enabled depth 4 workers 2", ps)
+	}
+	if ps.Blocks != s.Blocks() {
+		t.Fatalf("stats saw %d blocks, want %d", ps.Blocks, s.Blocks())
+	}
+	if ps.PhysBytes < s.SizeBytes() {
+		t.Fatalf("PhysBytes = %d, want >= payload %d", ps.PhysBytes, s.SizeBytes())
+	}
+	if ps.Start.IsZero() {
+		t.Fatal("stats carry no start time")
+	}
+	phys, ok := sc.(PhysicalReader)
+	if !ok || phys.PhysicalBytesRead() != ps.PhysBytes {
+		t.Fatalf("PhysicalBytesRead inconsistent with stats")
+	}
+}
+
+// TestScanChunksPipelinedFallback: sources without a pipeline still scan
+// through the uniform entry point.
+func TestScanChunksPipelinedFallback(t *testing.T) {
+	schema := MustSchema([]Attribute{{Name: "a", Kind: Numeric}}, 2)
+	tuples := make([]Tuple, 300)
+	for i := range tuples {
+		tuples[i] = Tuple{Values: []float64{float64(i)}, Class: i % 2}
+	}
+	sc, err := ScanChunksPipelined(NewMemSource(schema, tuples), PipelineConfig{Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	ch := NewChunk(1, 128)
+	rows := 0
+	for {
+		ch.Reset()
+		err := sc.NextChunk(ch)
+		rows += ch.Len()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Len() == 0 {
+			break
+		}
+	}
+	if rows != 300 {
+		t.Fatalf("fallback scan saw %d rows, want 300", rows)
+	}
+}
+
+// TestPipelineConfigNormalized pins the knob semantics Config documents:
+// zero depth selects the default, negatives mean synchronous, and both
+// axes are clamped.
+func TestPipelineConfigNormalized(t *testing.T) {
+	if got := (PipelineConfig{}).normalized(); got.Depth != DefaultPipelineDepth || got.Workers < 1 {
+		t.Fatalf("zero config normalized to %+v", got)
+	}
+	if got := (PipelineConfig{Depth: -7}).normalized(); got.Depth != -1 {
+		t.Fatalf("negative depth normalized to %d, want -1", got.Depth)
+	}
+	if got := (PipelineConfig{Depth: 1000, Workers: 1000}).normalized(); got.Depth != 64 || got.Workers != 32 {
+		t.Fatalf("oversized config normalized to %+v", got)
+	}
+}

@@ -34,6 +34,10 @@ type Config struct {
 	WriteProb float64
 	// OpenProb fails Open calls.
 	OpenProb float64
+	// ReadProb fails Read calls on files returned by Open (no bytes are
+	// consumed by a failed read, so transient read faults are cleanly
+	// retryable in place).
+	ReadProb float64
 	// RemoveProb fails Remove calls.
 	RemoveProb float64
 	// RenameProb fails Rename calls.
@@ -52,6 +56,7 @@ type Config struct {
 // Stats counts what was injected.
 type Stats struct {
 	Creates, Writes, Opens, Removes, Renames int64 // operations seen
+	Reads                                    int64 // reads seen
 	Faults                                   int64 // faults injected (excluding ENOSPC)
 	Transient                                int64 // ...of which transient
 	ENOSPC                                   int64 // writes refused for byte budget
@@ -147,8 +152,30 @@ func (f *FS) Open(name string) (io.ReadCloser, error) {
 	if fault, transient := f.inject(f.cfg.OpenProb, &f.stats.Opens); fault {
 		return nil, &Fault{Op: "open", Path: name, transient: transient}
 	}
-	return f.inner.Open(name)
+	rc, err := f.inner.Open(name)
+	if err != nil || f.cfg.ReadProb <= 0 {
+		return rc, err
+	}
+	return &faultReader{rc: rc, fs: f, name: name}, nil
 }
+
+// faultReader injects read faults on a stream returned by Open. A faulted
+// read consumes nothing, so callers retrying transient faults resume
+// exactly where they were.
+type faultReader struct {
+	rc   io.ReadCloser
+	fs   *FS
+	name string
+}
+
+func (r *faultReader) Read(p []byte) (int, error) {
+	if fault, transient := r.fs.inject(r.fs.cfg.ReadProb, &r.fs.stats.Reads); fault {
+		return 0, &Fault{Op: "read", Path: r.name, transient: transient}
+	}
+	return r.rc.Read(p)
+}
+
+func (r *faultReader) Close() error { return r.rc.Close() }
 
 // Remove implements data.FS.
 func (f *FS) Remove(name string) error {

@@ -22,6 +22,7 @@ type Stats struct {
 	scans       atomic.Int64
 	tuplesRead  atomic.Int64
 	bytesRead   atomic.Int64
+	physBytes   atomic.Int64
 	spillTuples atomic.Int64
 	spillBytes  atomic.Int64
 
@@ -51,6 +52,16 @@ func (s *Stats) RecordRead(tuples, bytes int64) {
 	if s != nil {
 		s.tuplesRead.Add(tuples)
 		s.bytesRead.Add(bytes)
+	}
+}
+
+// RecordPhysRead notes bytes that actually crossed the filesystem
+// boundary. Distinct from RecordRead's logical tuple bytes: a compressed
+// columnar block delivers more tuple bytes than it reads, so the two
+// counters diverge exactly by the compression the on-disk format bought.
+func (s *Stats) RecordPhysRead(bytes int64) {
+	if s != nil {
+		s.physBytes.Add(bytes)
 	}
 }
 
@@ -109,8 +120,13 @@ func (s *Stats) Scans() int64 { return s.scans.Load() }
 // TuplesRead returns the number of tuples read by tracked scans.
 func (s *Stats) TuplesRead() int64 { return s.tuplesRead.Load() }
 
-// BytesRead returns the (estimated) bytes read by tracked scans.
+// BytesRead returns the logical (decoded tuple) bytes read by tracked
+// scans.
 func (s *Stats) BytesRead() int64 { return s.bytesRead.Load() }
+
+// PhysBytesRead returns the physical bytes read from the filesystem by
+// tracked scans.
+func (s *Stats) PhysBytesRead() int64 { return s.physBytes.Load() }
 
 // SpillTuples returns the tuples written to temporary storage.
 func (s *Stats) SpillTuples() int64 { return s.spillTuples.Load() }
@@ -141,6 +157,7 @@ func (s *Stats) Reset() {
 	s.scans.Store(0)
 	s.tuplesRead.Store(0)
 	s.bytesRead.Store(0)
+	s.physBytes.Store(0)
 	s.spillTuples.Store(0)
 	s.spillBytes.Store(0)
 	s.spillRetries.Store(0)
@@ -153,11 +170,18 @@ func (s *Stats) Reset() {
 
 // Snapshot is an immutable copy of the counters.
 type Snapshot struct {
-	Scans       int64
-	TuplesRead  int64
-	BytesRead   int64
-	SpillTuples int64
-	SpillBytes  int64
+	Scans      int64
+	TuplesRead int64
+	// BytesRead is the logical volume: tuples delivered times the decoded
+	// per-tuple size of the source's natural encoding.
+	BytesRead int64
+	// PhysBytesRead is the physical volume: bytes actually read from the
+	// filesystem. For uncompressed row files the two coincide; for
+	// block-compressed columnar files PhysBytesRead is smaller by the
+	// compression ratio.
+	PhysBytesRead int64
+	SpillTuples   int64
+	SpillBytes    int64
 
 	SpillRetries  int64
 	SpillErrors   int64
@@ -186,6 +210,15 @@ func (s Snapshot) AllocBytesPerTuple() float64 {
 	return float64(s.AllocBytes) / float64(s.TuplesRead)
 }
 
+// CompressionRatio returns BytesRead divided by PhysBytesRead (0 when no
+// physical bytes were recorded).
+func (s Snapshot) CompressionRatio() float64 {
+	if s.PhysBytesRead == 0 {
+		return 0
+	}
+	return float64(s.BytesRead) / float64(s.PhysBytesRead)
+}
+
 // Snapshot copies the current counter values.
 func (s *Stats) Snapshot() Snapshot {
 	if s == nil {
@@ -195,6 +228,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Scans:         s.Scans(),
 		TuplesRead:    s.TuplesRead(),
 		BytesRead:     s.BytesRead(),
+		PhysBytesRead: s.PhysBytesRead(),
 		SpillTuples:   s.SpillTuples(),
 		SpillBytes:    s.SpillBytes(),
 		SpillRetries:  s.SpillRetries(),
@@ -213,6 +247,7 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		Scans:         a.Scans + b.Scans,
 		TuplesRead:    a.TuplesRead + b.TuplesRead,
 		BytesRead:     a.BytesRead + b.BytesRead,
+		PhysBytesRead: a.PhysBytesRead + b.PhysBytesRead,
 		SpillTuples:   a.SpillTuples + b.SpillTuples,
 		SpillBytes:    a.SpillBytes + b.SpillBytes,
 		SpillRetries:  a.SpillRetries + b.SpillRetries,
@@ -230,6 +265,7 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		Scans:         a.Scans - b.Scans,
 		TuplesRead:    a.TuplesRead - b.TuplesRead,
 		BytesRead:     a.BytesRead - b.BytesRead,
+		PhysBytesRead: a.PhysBytesRead - b.PhysBytesRead,
 		SpillTuples:   a.SpillTuples - b.SpillTuples,
 		SpillBytes:    a.SpillBytes - b.SpillBytes,
 		SpillRetries:  a.SpillRetries - b.SpillRetries,
@@ -246,6 +282,9 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 func (s Snapshot) String() string {
 	out := fmt.Sprintf("scans=%d tuples=%d bytes=%d spillTuples=%d spillBytes=%d",
 		s.Scans, s.TuplesRead, s.BytesRead, s.SpillTuples, s.SpillBytes)
+	if s.PhysBytesRead != 0 && s.PhysBytesRead != s.BytesRead {
+		out += fmt.Sprintf(" physBytes=%d (%.2fx)", s.PhysBytesRead, s.CompressionRatio())
+	}
 	if s.SpillRetries != 0 || s.SpillErrors != 0 || s.ScanFallbacks != 0 || s.ScanRetries != 0 {
 		out += fmt.Sprintf(" spillRetries=%d spillErrors=%d scanFallbacks=%d scanRetries=%d",
 			s.SpillRetries, s.SpillErrors, s.ScanFallbacks, s.ScanRetries)
@@ -301,13 +340,37 @@ func (t *trackedSource) ScanChunks() (data.ChunkScanner, error) {
 		return nil, err
 	}
 	t.stats.RecordScan()
-	return &trackedChunkScanner{inner: sc, stats: t.stats, tupleBytes: t.tupleBytes}, nil
+	return t.wrapChunkScanner(sc), nil
+}
+
+// ScanChunksPipeline implements data.PipelinedChunkSource: the pipeline
+// configuration reaches the wrapped source, and the scan is tracked the
+// same way as ScanChunks.
+func (t *trackedSource) ScanChunksPipeline(cfg data.PipelineConfig) (data.ChunkScanner, error) {
+	sc, err := data.ScanChunksPipelined(t.inner, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.stats.RecordScan()
+	return t.wrapChunkScanner(sc), nil
+}
+
+func (t *trackedSource) wrapChunkScanner(sc data.ChunkScanner) data.ChunkScanner {
+	w := &trackedChunkScanner{inner: sc, stats: t.stats, tupleBytes: t.tupleBytes}
+	w.phys, _ = sc.(data.PhysicalReader)
+	return w
 }
 
 type trackedChunkScanner struct {
 	inner      data.ChunkScanner
 	stats      *Stats
 	tupleBytes int64
+
+	// phys, when the inner scanner reports filesystem bytes, drives the
+	// physical counter by delta; otherwise physical = logical (the row
+	// formats store exactly what they deliver).
+	phys     data.PhysicalReader
+	lastPhys int64
 }
 
 // NextChunk records the rows delivered into dst even when the inner scan
@@ -316,10 +379,28 @@ type trackedChunkScanner struct {
 func (t *trackedChunkScanner) NextChunk(dst *data.Chunk) error {
 	before := dst.Len()
 	err := t.inner.NextChunk(dst)
-	if n := int64(dst.Len() - before); n > 0 {
+	n := int64(dst.Len() - before)
+	if n > 0 {
 		t.stats.RecordRead(n, n*t.tupleBytes)
 	}
+	if t.phys != nil {
+		if now := t.phys.PhysicalBytesRead(); now > t.lastPhys {
+			t.stats.RecordPhysRead(now - t.lastPhys)
+			t.lastPhys = now
+		}
+	} else if n > 0 {
+		t.stats.RecordPhysRead(n * t.tupleBytes)
+	}
 	return err
+}
+
+// PipelineStats forwards the inner scanner's pipeline report (zero when
+// the scan was not pipelined). Implements data.PipelineReporter.
+func (t *trackedChunkScanner) PipelineStats() data.PipelineStats {
+	if pr, ok := t.inner.(data.PipelineReporter); ok {
+		return pr.PipelineStats()
+	}
+	return data.PipelineStats{}
 }
 
 func (t *trackedChunkScanner) Close() error { return t.inner.Close() }
@@ -336,6 +417,7 @@ func (t *trackedScanner) Next() ([]data.Tuple, error) {
 	batch, err := t.inner.Next()
 	if n := int64(len(batch)); n > 0 {
 		t.stats.RecordRead(n, n*t.tupleBytes)
+		t.stats.RecordPhysRead(n * t.tupleBytes)
 	}
 	return batch, err
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -439,4 +440,61 @@ func TestConcurrentRecordAllocs(t *testing.T) {
 	nilStats.RecordSpillError()
 	nilStats.RecordScanFallback()
 	nilStats.RecordScanRetry()
+}
+
+// TestTrackedPhysVsLogicalBytes pins the two-counter contract: row files
+// store exactly what they deliver (physical == logical), while the
+// block-compressed columnar format reads fewer filesystem bytes than the
+// decoded tuple bytes it delivers, which CompressionRatio exposes.
+func TestTrackedPhysVsLogicalBytes(t *testing.T) {
+	schema := testSchema()
+	tuples := testTuples(4000) // small-int values -> narrow column encodings
+	dir := t.TempDir()
+
+	rowPath := dir + "/d.boat"
+	if _, err := data.WriteFile(rowPath, data.NewMemSource(schema, tuples), data.FormatCompact); err != nil {
+		t.Fatal(err)
+	}
+	colPath := dir + "/d.boatc"
+	if _, err := data.WriteColFile(colPath, data.NewMemSource(schema, tuples), 512); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("row", func(t *testing.T) {
+		fs, err := data.OpenFile(rowPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Stats
+		if n := drainChunks(t, Tracked(fs, &st)); n != 4000 {
+			t.Fatalf("scan saw %d rows", n)
+		}
+		snap := st.Snapshot()
+		if snap.PhysBytesRead != snap.BytesRead {
+			t.Fatalf("row file: phys %d != logical %d", snap.PhysBytesRead, snap.BytesRead)
+		}
+	})
+
+	t.Run("columnar", func(t *testing.T) {
+		cs, err := data.OpenColFile(colPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Stats
+		if n := drainChunks(t, Tracked(cs, &st)); n != 4000 {
+			t.Fatalf("scan saw %d rows", n)
+		}
+		snap := st.Snapshot()
+		if snap.PhysBytesRead == 0 || snap.PhysBytesRead >= snap.BytesRead {
+			t.Fatalf("columnar: phys %d, logical %d — want 0 < phys < logical", snap.PhysBytesRead, snap.BytesRead)
+		}
+		if r := snap.CompressionRatio(); r <= 1 {
+			t.Fatalf("CompressionRatio = %.2f, want > 1", r)
+		}
+		// The physical counter tracks what actually crossed the filesystem:
+		// header + payload, never more than the file itself.
+		if fi, err := os.Stat(colPath); err == nil && snap.PhysBytesRead > fi.Size() {
+			t.Fatalf("phys %d exceeds file size %d", snap.PhysBytesRead, fi.Size())
+		}
+	})
 }

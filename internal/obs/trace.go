@@ -119,6 +119,34 @@ func (s *Span) End() {
 	s.mu.Unlock()
 }
 
+// AddCompleted records an already-measured region as an ended child span
+// with an explicit start time and duration. It exists for work whose
+// timing is accumulated outside the tracer — the I/O pipeline's read,
+// decode and deliver stages, measured inside internal/data and known only
+// once the scan closes. Durations may be cumulative across goroutines, so
+// a completed child can be longer than its parent's wall-clock. The child
+// carries identical start and end I/O snapshots (its bytes were already
+// attributed to the enclosing span), keeping parent self-deltas exact.
+func (s *Span) AddCompleted(name string, start time.Time, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	snap := s.tracer.stats.Snapshot()
+	c := &Span{
+		tracer:  s.tracer,
+		name:    name,
+		start:   start,
+		startIO: snap,
+		end:     start.Add(d),
+		endIO:   snap,
+		ended:   true,
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
 // SetAttr annotates the span. Later values for the same key win at export.
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil {

@@ -300,11 +300,45 @@ type (
 	// Span is one traced phase of a build.
 	Span = obs.Span
 	// MetricsRegistry holds named counters, gauges and histograms updated
-	// during builds; export with WriteJSON or Publish (expvar).
+	// during builds; export with WriteJSON, WriteProm (Prometheus text
+	// exposition) or Publish (expvar).
 	MetricsRegistry = obs.Registry
 	// LogConfig configures NewLogger (text or JSON, leveled).
 	LogConfig = obs.LogConfig
+	// LatencyHistogram is a sharded, lock-free latency distribution with
+	// quantile estimation; Grow/Insert/Delete and the Predictor record
+	// into registry-owned instances (update.latency, predict.latency).
+	LatencyHistogram = obs.LatencyHistogram
 )
+
+// Live telemetry (see DESIGN.md §16): an embeddable diagnostics HTTP
+// server over a MetricsRegistry, plus a background sampler keeping
+// runtime gauges and windowed throughput rates fresh.
+type (
+	// DiagServer serves /metrics (Prometheus text exposition), /healthz,
+	// /readyz, /debug/vars and /debug/pprof from a background goroutine.
+	DiagServer = obs.Server
+	// DiagServerOptions configures StartDiagServer; an empty Addr
+	// disables the server entirely (no goroutine, no socket).
+	DiagServerOptions = obs.ServerConfig
+	// RuntimeSampler periodically samples Go runtime statistics
+	// (heap, GC, goroutines) into registry gauges and computes windowed
+	// per-second rates over selected counters.
+	RuntimeSampler = obs.Sampler
+	// RuntimeSamplerOptions configures StartRuntimeSampler.
+	RuntimeSamplerOptions = obs.SamplerConfig
+)
+
+// StartDiagServer starts the diagnostics HTTP server. Wire a maintained
+// Model's readiness with opt.Ready = model.Ready. Returns (nil, nil)
+// when opt.Addr is empty; Close is safe on the nil server.
+func StartDiagServer(opt DiagServerOptions) (*DiagServer, error) { return obs.StartServer(opt) }
+
+// StartRuntimeSampler starts the background runtime/rate sampler over
+// reg. Returns nil (a valid no-op handle) when reg is nil.
+func StartRuntimeSampler(reg *MetricsRegistry, opt RuntimeSamplerOptions) *RuntimeSampler {
+	return obs.StartSampler(reg, opt)
+}
 
 // NewTracer creates a build tracer. Pass the same stats the build uses
 // (Options.Stats) so spans report I/O deltas; nil disables I/O deltas.

@@ -118,6 +118,7 @@ func main() {
 		ioVerify    = flag.Bool("ioverify", true, "-iojson: also verify trees bit-identical across formats, pipeline depths {1,4} and Parallelism {1,8}")
 
 		metricsJSON = flag.String("metricsjson", "", `write the accumulated BOAT metrics registry as JSON to this file ("-" = stdout)`)
+		listen      = flag.String("listen", "", `diagnostics HTTP server address for /metrics and /debug/pprof during the run ("" disables)`)
 		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
 		logLevel    = flag.String("loglevel", "info", "log level: debug | info | warn | error")
 
@@ -146,7 +147,7 @@ func main() {
 		predictJSON: *predictJSON,
 		updateJSON:  *updateJSON, updateRounds: *updateRounds,
 		ioJSON: *ioJSON, ioTuples: *ioTuples, ioBlockRows: *ioBlockRows, ioVerify: *ioVerify,
-		metricsJSON: *metricsJSON,
+		metricsJSON: *metricsJSON, listen: *listen,
 	})
 	stopProfiles()
 	if err := writeMemProfile(*memprofile); err != nil {
@@ -243,6 +244,7 @@ type mainConfig struct {
 	ioVerify    bool
 
 	metricsJSON string
+	listen      string
 }
 
 func run(mc mainConfig) int {
@@ -260,8 +262,24 @@ func run(mc mainConfig) int {
 	}
 
 	var metrics *obs.Registry
-	if mc.metricsJSON != "" {
+	if mc.metricsJSON != "" || mc.listen != "" {
 		metrics = obs.NewRegistry()
+	}
+	// Opt-in diagnostics server (default off for benchmarks): /metrics,
+	// probes and pprof over the run's registry, with the runtime sampler
+	// feeding heap/GC/goroutine gauges while the benchmark executes. Both
+	// stay completely dark — no goroutine, no socket — without -listen.
+	if mc.listen != "" {
+		sampler := obs.StartSampler(metrics, obs.SamplerConfig{Logger: mc.logger})
+		defer sampler.Close()
+		diag, err := obs.StartServer(obs.ServerConfig{
+			Addr: mc.listen, Registry: metrics, Logger: mc.logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "boatbench: %v\n", err)
+			return 2
+		}
+		defer diag.Close()
 	}
 
 	if mc.benchJSON != "" {

@@ -13,17 +13,22 @@
 // node-for-node against a from-scratch build on the final window's
 // dataset — the incremental-maintenance exactness guarantee.
 //
-// Observability follows boattrain/boatbench: -metricsjson dumps the
-// update metrics registry (update.tuples_per_sec, update.chunks,
-// update.epoch_swaps, ...), -logjson/-loglevel control the structured
-// log stream on stderr.
+// Observability: a diagnostics HTTP server runs on -listen (default
+// :9090) exposing the metrics registry in Prometheus text format at
+// /metrics plus /healthz, /readyz, /debug/vars and /debug/pprof; a
+// background sampler feeds runtime gauges and windowed tuples/sec
+// rates. -metricsjson dumps the registry as JSON at exit, and
+// -metricsinterval additionally flushes it periodically (atomic
+// temp+rename, so a killed soak still leaves metrics on disk).
+// -logjson/-loglevel control the structured log stream on stderr.
 //
 // Usage:
 //
 //	boatstream -rounds 50
 //	boatstream -rounds 200 -paritycheck
 //	boatstream -serve -rounds 100 -metricsjson metrics.json
-//	boatstream -rowupdates -rounds 50
+//	boatstream -serve -listen :9090 -metricsjson metrics.json -metricsinterval 5s
+//	boatstream -rowupdates -rounds 50 -listen ""
 package main
 
 import (
@@ -44,22 +49,24 @@ import (
 
 func main() {
 	var (
-		tuples      = flag.Int64("tuples", 40_000, "base training dataset size")
-		chunkSize   = flag.Int64("chunk", 10_000, "tuples per sliding-window chunk")
-		window      = flag.Int("window", 3, "live chunks besides the base data")
-		rounds      = flag.Int("rounds", 50, "insert+delete rounds to replay")
-		function    = flag.Int("function", 1, "generator function for the synthetic data")
-		method      = flag.String("method", "gini", "split selection: gini | entropy | quest")
-		threshold   = flag.Int64("threshold", 4000, "stop-at-threshold leaf family size")
-		sample      = flag.Int("sample", 8000, "BOAT sample size (0 = auto)")
-		seed        = flag.Int64("seed", 1, "sampling and generator seed")
-		parallelism = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
-		rowUpdates  = flag.Bool("rowupdates", false, "force the row-at-a-time update baseline instead of the columnar chunk router")
-		serve       = flag.Bool("serve", false, "serve predictions concurrently with the updates via the epoch-swapped snapshot path")
-		parity      = flag.Bool("paritycheck", false, "after the soak, compare the maintained tree against a from-scratch build on the final window")
-		metricsOut  = flag.String("metricsjson", "", `write the update metrics registry as JSON to this file ("-" = stdout)`)
-		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
-		logLevel    = flag.String("loglevel", "info", "log level: debug | info | warn | error")
+		tuples       = flag.Int64("tuples", 40_000, "base training dataset size")
+		chunkSize    = flag.Int64("chunk", 10_000, "tuples per sliding-window chunk")
+		window       = flag.Int("window", 3, "live chunks besides the base data")
+		rounds       = flag.Int("rounds", 50, "insert+delete rounds to replay")
+		function     = flag.Int("function", 1, "generator function for the synthetic data")
+		method       = flag.String("method", "gini", "split selection: gini | entropy | quest")
+		threshold    = flag.Int64("threshold", 4000, "stop-at-threshold leaf family size")
+		sample       = flag.Int("sample", 8000, "BOAT sample size (0 = auto)")
+		seed         = flag.Int64("seed", 1, "sampling and generator seed")
+		parallelism  = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
+		rowUpdates   = flag.Bool("rowupdates", false, "force the row-at-a-time update baseline instead of the columnar chunk router")
+		serve        = flag.Bool("serve", false, "serve predictions concurrently with the updates via the epoch-swapped snapshot path")
+		parity       = flag.Bool("paritycheck", false, "after the soak, compare the maintained tree against a from-scratch build on the final window")
+		metricsOut   = flag.String("metricsjson", "", `write the update metrics registry as JSON to this file ("-" = stdout)`)
+		metricsEvery = flag.Duration("metricsinterval", 0, "flush -metricsjson to disk at this interval during the soak (0 = only at exit)")
+		listen       = flag.String("listen", ":9090", `diagnostics HTTP server address for /metrics, /healthz, /readyz and /debug/pprof ("" disables)`)
+		logJSON      = flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
+		logLevel     = flag.String("loglevel", "info", "log level: debug | info | warn | error")
 	)
 	flag.Parse()
 	logger, err := obs.NewLogger(os.Stderr, obs.LogConfig{JSON: *logJSON, Level: *logLevel})
@@ -82,9 +89,12 @@ func main() {
 		chunks[i] = gen.MustSource(genCfg, *chunkSize, *seed+int64(10+i))
 	}
 
+	if *metricsEvery > 0 && (*metricsOut == "" || *metricsOut == "-") {
+		fatal(fmt.Errorf("-metricsinterval requires -metricsjson FILE"))
+	}
 	var st iostats.Stats
 	var metrics *obs.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listen != "" {
 		metrics = obs.NewRegistry()
 	}
 	cfg := core.Config{
@@ -100,6 +110,24 @@ func main() {
 	logger.Info("base tree built", "seconds", time.Since(start).Seconds(),
 		"tuples", *tuples, "row_updates", *rowUpdates)
 
+	// Live telemetry: the sampler feeds runtime gauges and windowed
+	// tuples/sec rates into the registry; the diagnostics server exposes
+	// it all over HTTP. Both are fully disabled (no goroutine, no socket)
+	// when their inputs are off, and both shut down before the tree does.
+	sampler := obs.StartSampler(metrics, obs.SamplerConfig{
+		Rates:  []string{"update.tuples", "predict.tuples"},
+		Logger: logger,
+	})
+	defer sampler.Close()
+	diag, err := obs.StartServer(obs.ServerConfig{
+		Addr: *listen, Registry: metrics, Ready: bt.Ready, Logger: logger,
+	})
+	fatal(err)
+	defer diag.Close()
+	if diag != nil {
+		logger.Info("diagnostics server listening", "addr", diag.Addr())
+	}
+
 	// Reach the steady state: the window holds `window` live chunks.
 	for i := 0; i < *window; i++ {
 		_, err := bt.Insert(chunks[i])
@@ -114,7 +142,7 @@ func main() {
 	done := make(chan struct{})
 	stopped := make(chan struct{})
 	if *serve {
-		mp := predict.NewMaintained(bt, predict.Config{Parallelism: *parallelism})
+		mp := predict.NewMaintained(bt, predict.Config{Parallelism: *parallelism, Metrics: metrics})
 		go func() {
 			defer close(stopped)
 			for i := 0; ; i++ {
@@ -134,6 +162,30 @@ func main() {
 		}()
 	} else {
 		close(stopped)
+	}
+
+	// Periodic metrics flush: snapshot the registry to -metricsjson every
+	// -metricsinterval so a soak killed mid-run still leaves its latest
+	// metrics on disk. Each flush is atomic (temp file + rename), so a
+	// scraper or a kill mid-write never observes a torn file.
+	var flusherStopped chan struct{}
+	if *metricsEvery > 0 {
+		flusherStopped = make(chan struct{})
+		go func() {
+			defer close(flusherStopped)
+			tick := time.NewTicker(*metricsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					if err := flushMetrics(metrics, *metricsOut); err != nil {
+						logger.Warn("periodic metrics flush failed", "err", err)
+					}
+				}
+			}
+		}()
 	}
 
 	var total core.UpdateStats
@@ -160,6 +212,9 @@ func main() {
 	elapsed := time.Since(soakStart).Seconds()
 	close(done)
 	<-stopped
+	if flusherStopped != nil {
+		<-flusherStopped
+	}
 
 	snap, err := bt.Snapshot()
 	fatal(err)
@@ -253,18 +308,35 @@ func dumpMetrics(metrics *obs.Registry, path string) int {
 		}
 		return 0
 	}
-	f, err := os.Create(path)
-	if err == nil {
-		err = metrics.WriteJSON(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}
-	if err != nil {
+	if err := flushMetrics(metrics, path); err != nil {
 		fmt.Fprintf(os.Stderr, "boatstream: metricsjson: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// flushMetrics writes the registry snapshot to path atomically: the JSON
+// lands in a sibling temp file, is synced, and replaces path with a
+// rename — readers always see either the previous complete snapshot or
+// the new one, never a torn write.
+func flushMetrics(metrics *obs.Registry, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = metrics.WriteJSON(f)
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func methodFor(name string) (split.Method, error) {

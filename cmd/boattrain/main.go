@@ -61,6 +61,7 @@ func main() {
 		predBench   = flag.Int("predictbench", 0, "rounds of predict benchmarking (tuple vs flat vs chunk vs parallel) over the -predict file, or the training input if none")
 		traceOut    = flag.String("trace", "", "write the build lifecycle as Chrome trace-event JSON to this file (boat only)")
 		metricsOut  = flag.String("metricsjson", "", `write the build metrics registry as JSON to this file ("-" = stdout; boat only)`)
+		listen      = flag.String("listen", "", `diagnostics HTTP server address for /metrics and /debug/pprof during the build ("" disables)`)
 		logJSON     = flag.Bool("logjson", false, "emit structured logs as JSON instead of text")
 		logLevel    = flag.String("loglevel", "info", "log level: debug | info | warn | error")
 	)
@@ -101,8 +102,21 @@ func main() {
 	if *traceOut != "" {
 		tracer = obs.NewTracer(&st)
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listen != "" {
 		metrics = obs.NewRegistry()
+	}
+	// Opt-in diagnostics server (default off for one-shot builds):
+	// /metrics, probes and pprof over the build's registry, with the
+	// runtime sampler feeding heap/GC/goroutine gauges. Both stay
+	// completely dark — no goroutine, no socket — without -listen.
+	if *listen != "" {
+		sampler := obs.StartSampler(metrics, obs.SamplerConfig{Logger: logger})
+		defer sampler.Close()
+		diag, err := obs.StartServer(obs.ServerConfig{
+			Addr: *listen, Registry: metrics, Logger: logger,
+		})
+		fatal(err)
+		defer diag.Close()
 	}
 
 	var tr *tree.Tree

@@ -339,7 +339,57 @@ func (t *Tree) publishLocked() (*Snapshot, error) {
 	s := &Snapshot{Epoch: epoch, Tree: mt, Flat: flat}
 	t.snap.Store(s)
 	t.met.epochSwaps.Inc()
+	t.met.epochGauge.Set(float64(epoch))
 	return s, nil
+}
+
+// Ready reports whether the tree is fit to serve and accept updates: a
+// consistent snapshot must have been published (readers have an epoch to
+// route through) and no spill buffer may be poisoned by a permanent
+// storage fault. It backs the diagnostics server's /readyz probe.
+//
+// The poison walk serializes with in-flight updates on the update mutex,
+// so a probe landing mid-Insert waits for the update to complete — a
+// readiness probe observing a half-applied update would be meaningless.
+func (t *Tree) Ready() error {
+	if t.snap.Load() == nil {
+		return fmt.Errorf("core: not ready: no snapshot epoch published yet")
+	}
+	t.updateMu.Lock()
+	defer t.updateMu.Unlock()
+	if t.root == nil {
+		return fmt.Errorf("core: not ready: tree is closed")
+	}
+	return poisonCheck(t.root)
+}
+
+// poisonCheck walks the tree's buffers for poisoned spill state.
+func poisonCheck(n *bnode) error {
+	if n == nil {
+		return nil
+	}
+	if n.isLeaf() {
+		if n.family != nil {
+			if err := n.family.Err(); err != nil {
+				return fmt.Errorf("core: not ready: poisoned leaf family: %w", err)
+			}
+		}
+		return nil
+	}
+	if n.pending != nil {
+		if err := n.pending.Err(); err != nil {
+			return fmt.Errorf("core: not ready: poisoned stuck set: %w", err)
+		}
+	}
+	if n.pushed != nil {
+		if err := n.pushed.Err(); err != nil {
+			return fmt.Errorf("core: not ready: poisoned pushed set: %w", err)
+		}
+	}
+	if err := poisonCheck(n.left); err != nil {
+		return err
+	}
+	return poisonCheck(n.right)
 }
 
 func materialize(n *bnode) *tree.Node {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/boatml/boat/internal/data"
@@ -85,11 +86,38 @@ func (t *Tree) update(chunk data.Source, w int64) (UpdateStats, error) {
 		if t.updScratch == nil {
 			t.updScratch = newRouteScratch(rows)
 		}
-		err = data.ForEachChunk(tracked, rows, func(ch *data.Chunk) error {
-			upd.TuplesSeen += int64(ch.Len())
-			upd.Chunks++
-			return t.runUpdateChunk(ch, t.updScratch, w)
-		})
+		// The chunk stream runs behind the same prefetch/decode pipeline as
+		// the cleanup scan (falling back to the plain chunked scan for
+		// non-columnar sources), and its stage report lands in the route
+		// span and the pipeline.* registry counters — the update router's
+		// reads are as observable as the build's.
+		var csc data.ChunkScanner
+		csc, err = data.ScanChunksPipelined(tracked, t.pipelineCfg())
+		if err == nil {
+			ch := data.NewChunk(len(t.schema.Attributes), rows)
+			for err == nil {
+				ch.Reset()
+				nerr := csc.NextChunk(ch)
+				if nerr == io.EOF {
+					break
+				}
+				if nerr != nil {
+					err = nerr
+					break
+				}
+				if ch.Len() == 0 {
+					continue
+				}
+				upd.TuplesSeen += int64(ch.Len())
+				upd.Chunks++
+				err = t.runUpdateChunk(ch, t.updScratch, w)
+			}
+			if cerr := csc.Close(); err == nil {
+				err = cerr
+			}
+			attachPipelineSpans(routeSpan, csc)
+			t.recordPipelineStats(csc)
+		}
 	}
 	routeSpan.SetAttr("tuples", upd.TuplesSeen)
 	routeSpan.SetAttr("chunks", upd.Chunks)
@@ -113,9 +141,11 @@ func (t *Tree) update(chunk data.Source, w int64) (UpdateStats, error) {
 		}
 	}
 
-	secs := time.Since(start).Seconds()
+	elapsed := time.Since(start)
+	secs := elapsed.Seconds()
 	t.met.updTuples.Add(upd.TuplesSeen)
 	t.met.updChunks.Add(upd.Chunks)
+	t.met.updLatency.Observe(elapsed)
 	if secs > 0 {
 		t.met.updRate.Set(float64(upd.TuplesSeen) / secs)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log/slog"
 
+	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/obs"
 )
 
@@ -36,9 +37,26 @@ type metricSet struct {
 	updTuples, updChunks *obs.Counter
 	updRate              *obs.Gauge
 	epochSwaps           *obs.Counter
+	epochGauge           *obs.Gauge
+
+	// Serve-path latency distributions: one Observe per completed
+	// Insert/Delete (chunk routed through epoch republish). The predict
+	// twin lives in internal/predict.
+	updLatency *obs.LatencyHistogram
 
 	// Sampling phase.
 	coarseNodes, disagreements *obs.Counter
+
+	// Pipelined-scan telemetry. The pipe* gauges are the live
+	// backpressure readings (fed per delivered block via the
+	// data.PipelineObserver hook while a scan runs); the pipeTotal*
+	// counters accumulate post-scan PipelineStats across every pipelined
+	// read — cleanup scans and the Insert/Delete router alike.
+	pipeInFlight, pipeRing                  *obs.Gauge
+	pipeReadNS, pipeDecodeNS, pipeDeliverNS *obs.Gauge
+	pipeTotalBlocks, pipeTotalPhysBytes     *obs.Counter
+	pipeTotalReadNS, pipeTotalDecodeNS      *obs.Counter
+	pipeTotalDeliverNS                      *obs.Counter
 }
 
 func newMetricSet(r *obs.Registry) metricSet {
@@ -69,9 +87,70 @@ func newMetricSet(r *obs.Registry) metricSet {
 		updChunks:        r.Counter("update.chunks"),
 		updRate:          r.Gauge("update.tuples_per_sec"),
 		epochSwaps:       r.Counter("update.epoch_swaps"),
+		epochGauge:       r.Gauge("update.epoch"),
+		updLatency:       r.Latency("update.latency"),
 		coarseNodes:      r.Counter("bootstrap.coarse_nodes"),
 		disagreements:    r.Counter("bootstrap.disagreements"),
+
+		// Created eagerly (not on first pipelined scan) so the series
+		// exist on /metrics from the first scrape, zero-valued until a
+		// columnar source feeds them.
+		pipeInFlight:       r.Gauge("pipeline.in_flight_blocks"),
+		pipeRing:           r.Gauge("pipeline.ring_occupancy"),
+		pipeReadNS:         r.Gauge("pipeline.read_stall_ns"),
+		pipeDecodeNS:       r.Gauge("pipeline.decode_ns"),
+		pipeDeliverNS:      r.Gauge("pipeline.deliver_stall_ns"),
+		pipeTotalBlocks:    r.Counter("pipeline.blocks"),
+		pipeTotalPhysBytes: r.Counter("pipeline.phys_bytes"),
+		pipeTotalReadNS:    r.Counter("pipeline.read_ns"),
+		pipeTotalDecodeNS:  r.Counter("pipeline.decode_ns_total"),
+		pipeTotalDeliverNS: r.Counter("pipeline.deliver_ns"),
 	}
+}
+
+// ObservePipeline implements data.PipelineObserver: one live
+// backpressure reading per delivered block, stored into the pipe*
+// gauges. The metricSet pointer itself is the observer so no extra
+// allocation rides on the scan setup.
+func (m *metricSet) ObservePipeline(l data.PipelineLive) {
+	m.pipeInFlight.Set(float64(l.InFlight))
+	m.pipeRing.Set(float64(l.Ring))
+	m.pipeReadNS.Set(float64(l.Read))
+	m.pipeDecodeNS.Set(float64(l.Decode))
+	m.pipeDeliverNS.Set(float64(l.Deliver))
+}
+
+// pipelineCfg derives the data-layer pipeline configuration, attaching
+// the live-gauge observer when metrics are enabled.
+func (t *Tree) pipelineCfg() data.PipelineConfig {
+	cfg := t.cfg.pipelineCfg()
+	if t.cfg.Metrics.Enabled() {
+		cfg.Observer = &t.met
+	}
+	return cfg
+}
+
+// recordPipelineStats accumulates a finished pipelined scanner's stage
+// report into the registry counters (blocks, physical bytes, per-stage
+// nanos) — the cumulative, scrapeable twin of the per-span attribution
+// attachPipelineSpans performs. Non-pipelined scanners record nothing.
+func (t *Tree) recordPipelineStats(csc data.ChunkScanner) {
+	if !t.cfg.Metrics.Enabled() || csc == nil {
+		return
+	}
+	pr, ok := csc.(data.PipelineReporter)
+	if !ok {
+		return
+	}
+	ps := pr.PipelineStats()
+	if !ps.Enabled {
+		return
+	}
+	t.met.pipeTotalBlocks.Add(ps.Blocks)
+	t.met.pipeTotalPhysBytes.Add(ps.PhysBytes)
+	t.met.pipeTotalReadNS.Add(int64(ps.Read))
+	t.met.pipeTotalDecodeNS.Add(int64(ps.Decode))
+	t.met.pipeTotalDeliverNS.Add(int64(ps.Deliver))
 }
 
 // recordShardThroughput publishes one cleanup-scan shard's tuple count

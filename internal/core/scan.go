@@ -143,7 +143,7 @@ func (t *Tree) sequentialScan(src data.Source, root *bnode, sp *obs.Span) (int64
 	sc := newRouteScratch(rows)
 	sc.zoneSkip = !t.cfg.DisableZoneSkip
 	start := time.Now()
-	csc, err := data.ScanChunksPipelined(src, t.cfg.pipelineCfg())
+	csc, err := data.ScanChunksPipelined(src, t.pipelineCfg())
 	if err != nil {
 		return 0, err
 	}
@@ -170,6 +170,7 @@ func (t *Tree) sequentialScan(src data.Source, root *bnode, sp *obs.Span) (int64
 		scanErr = cerr
 	}
 	attachPipelineSpans(sp, csc)
+	t.recordPipelineStats(csc)
 	if scanErr == nil {
 		// The sequential scan reports as shard 0 so the per-shard
 		// throughput metrics exist at every Parallelism setting.
@@ -710,7 +711,7 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int, sp *obs.Span) (i
 	var csc data.ChunkScanner
 	scanErr := func() error {
 		var err error
-		csc, err = data.ScanChunksPipelined(src, t.cfg.pipelineCfg())
+		csc, err = data.ScanChunksPipelined(src, t.pipelineCfg())
 		if err != nil {
 			return err
 		}
@@ -746,6 +747,7 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int, sp *obs.Span) (i
 	}
 	wg.Wait()
 	attachPipelineSpans(sp, csc)
+	t.recordPipelineStats(csc)
 	if scanErr == nil && workErr != nil {
 		scanErr = workErr
 	}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/boatml/boat/internal/data"
+	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/obs"
+)
+
+// TestUpdateTelemetry drives an Insert from a columnar file through a
+// metered tree and checks the serve-path instruments land: the update
+// latency histogram, the published-epoch gauge, and the pipeline.*
+// counters fed by the update router's pipelined reads.
+func TestUpdateTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := obsTestConfig()
+	cfg.TempDir = t.TempDir()
+	cfg.Metrics = reg
+
+	bt, err := Build(obsTestSource(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+
+	// The eagerly registered pipeline gauges exist before any pipelined
+	// source was ever scanned — a scrape never 404s on the series.
+	snap := reg.Snapshot()
+	for _, g := range []string{
+		"pipeline.in_flight_blocks", "pipeline.ring_occupancy",
+		"pipeline.read_stall_ns", "pipeline.decode_ns", "pipeline.deliver_stall_ns",
+	} {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Errorf("gauge %s not registered eagerly", g)
+		}
+	}
+
+	// Publish an epoch so the update republishes (and the epoch gauge
+	// tracks it), then insert a chunk from a columnar file so the update
+	// router's reads run behind the pipeline.
+	if _, err := bt.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	chunkSrc := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, 2_000, 211)
+	tuples, err := data.ReadAll(chunkSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colPath := t.TempDir() + "/chunk.boatc"
+	if _, err := data.WriteColFile(colPath, data.NewMemSource(chunkSrc.Schema(), tuples), 256); err != nil {
+		t.Fatal(err)
+	}
+	colChunk, err := data.Open(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bt.Insert(colChunk); err != nil {
+		t.Fatal(err)
+	}
+
+	snap = reg.Snapshot()
+	lat, ok := snap.Latencies["update.latency"]
+	if !ok || lat.Count != 1 {
+		t.Fatalf("update.latency = %+v, want one observation", lat)
+	}
+	if lat.P50NS <= 0 || lat.P999NS < lat.P50NS {
+		t.Fatalf("update.latency quantiles = %+v", lat)
+	}
+	published, err := bt.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEpoch := float64(published.Epoch)
+	if got := snap.Gauges["update.epoch"]; got != wantEpoch {
+		t.Fatalf("update.epoch gauge = %g, want %g", got, wantEpoch)
+	}
+	if snap.Counters["pipeline.blocks"] <= 0 {
+		t.Fatalf("pipeline.blocks = %d after a columnar insert, want > 0",
+			snap.Counters["pipeline.blocks"])
+	}
+	if snap.Counters["pipeline.decode_ns_total"] <= 0 {
+		t.Fatalf("pipeline.decode_ns_total = %d, want > 0",
+			snap.Counters["pipeline.decode_ns_total"])
+	}
+}
+
+// TestReadyTransitions walks the /readyz contract end to end: not ready
+// before the first published epoch, ready after, and not ready once the
+// tree is closed.
+func TestReadyTransitions(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.TempDir = t.TempDir()
+	bt, err := Build(obsTestSource(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := bt.Ready(); err == nil {
+		t.Fatal("Ready() = nil before any snapshot epoch was published")
+	} else if !strings.Contains(err.Error(), "no snapshot epoch") {
+		t.Fatalf("pre-publish Ready() = %v", err)
+	}
+
+	if _, err := bt.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Ready(); err != nil {
+		t.Fatalf("Ready() after publish = %v", err)
+	}
+
+	// Readiness survives an update (the update republishes eagerly).
+	chunk := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, 500, 77)
+	if _, err := bt.Insert(chunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Ready(); err != nil {
+		t.Fatalf("Ready() after update = %v", err)
+	}
+
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Ready(); err == nil {
+		t.Fatal("Ready() = nil on a closed tree")
+	}
+}

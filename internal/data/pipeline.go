@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,6 +41,38 @@ type PipelineConfig struct {
 	// Workers is the number of decode goroutines. 0 selects
 	// min(4, GOMAXPROCS).
 	Workers int
+	// Observer, when non-nil, receives a PipelineLive reading each time
+	// the consumer takes a block off the ordered ring — continuous
+	// backpressure telemetry while the scan runs, not just the post-scan
+	// PipelineStats. Called from the consuming goroutine, once per block
+	// (never per row), so implementations stay off the row-hot path.
+	Observer PipelineObserver
+}
+
+// PipelineObserver consumes live pipeline readings (see
+// PipelineConfig.Observer). Implementations must be safe for use from
+// the scan's consuming goroutine and should be cheap — a handful of
+// atomic stores.
+type PipelineObserver interface {
+	ObservePipeline(PipelineLive)
+}
+
+// PipelineLive is one instantaneous backpressure reading of a running
+// pipelined scan.
+type PipelineLive struct {
+	// InFlight is the number of blocks currently admitted by the token
+	// bucket (being read, decoded, parked, or consumed); Ring is how many
+	// decoded blocks sit finished in the ordered ring awaiting the
+	// consumer. InFlight pinned at Depth with an empty Ring means the
+	// consumer is starved by read/decode; a full Ring means the consumer
+	// is the bottleneck.
+	InFlight int
+	Ring     int
+	// Blocks counts blocks delivered to the consumer so far.
+	Blocks int64
+	// Read, Decode and Deliver are the cumulative stage times so far
+	// (same meaning as PipelineStats, read mid-flight).
+	Read, Decode, Deliver time.Duration
 }
 
 // normalized resolves defaults and clamps to sane bounds.
@@ -151,8 +184,8 @@ type colPipeline struct {
 
 	start     time.Time
 	blocks    int64
-	readNS    int64 // reader-goroutine only
-	deliverNS int64 // consumer-goroutine only
+	readNS    atomic.Int64 // written by the reader, read live by observe
+	deliverNS int64        // consumer-goroutine only
 
 	mu       sync.Mutex
 	decodeNS int64 // accumulated across workers
@@ -201,7 +234,7 @@ func (p *colPipeline) reader() {
 		}
 		t0 := time.Now()
 		raw, err := p.br.readRawBlock(buf)
-		p.readNS += int64(time.Since(t0))
+		p.readNS.Add(int64(time.Since(t0)))
 		select {
 		case p.jobs <- pipeJob{seq: seq, raw: raw, err: err}:
 		case <-p.quit:
@@ -281,6 +314,7 @@ func (p *colPipeline) NextChunk(dst *Chunk) error {
 			}
 			p.cur, p.pos = item.ch, 0
 			p.blocks++
+			p.observe()
 		}
 		n := dst.Cap() - dst.Len()
 		if rem := p.cur.Len() - p.pos; n > rem {
@@ -301,6 +335,29 @@ func (p *colPipeline) NextChunk(dst *Chunk) error {
 		}
 	}
 	return nil
+}
+
+// observe pushes one live backpressure reading to the configured
+// observer. Runs on the consuming goroutine, once per delivered block.
+func (p *colPipeline) observe() {
+	if p.cfg.Observer == nil {
+		return
+	}
+	ring := 0
+	for _, slot := range p.slots {
+		ring += len(slot)
+	}
+	p.mu.Lock()
+	decode := p.decodeNS
+	p.mu.Unlock()
+	p.cfg.Observer.ObservePipeline(PipelineLive{
+		InFlight: len(p.tokens),
+		Ring:     ring,
+		Blocks:   p.blocks,
+		Read:     time.Duration(p.readNS.Load()),
+		Decode:   time.Duration(decode),
+		Deliver:  time.Duration(p.deliverNS),
+	})
 }
 
 // Close tears the pipeline down (idempotent): the reader and workers
@@ -336,7 +393,7 @@ func (p *colPipeline) PipelineStats() PipelineStats {
 		Blocks:    p.blocks,
 		PhysBytes: p.br.PhysicalBytesRead(),
 		Start:     p.start,
-		Read:      time.Duration(p.readNS),
+		Read:      time.Duration(p.readNS.Load()),
 		Decode:    time.Duration(decode),
 		Deliver:   time.Duration(p.deliverNS),
 	}

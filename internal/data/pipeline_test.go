@@ -321,3 +321,80 @@ func TestPipelineConfigNormalized(t *testing.T) {
 		t.Fatalf("oversized config normalized to %+v", got)
 	}
 }
+
+// recordingObserver captures every live backpressure reading the pipeline
+// emits. Readings arrive on the consumer's goroutine (one per delivered
+// block), so no locking is needed here.
+type recordingObserver struct {
+	readings []PipelineLive
+}
+
+func (r *recordingObserver) ObservePipeline(l PipelineLive) {
+	r.readings = append(r.readings, l)
+}
+
+// TestPipelineObserver: the observer sees exactly one reading per
+// delivered block, with monotonically increasing block counts and sane
+// gauge values, while the delivered data stays bit-identical.
+func TestPipelineObserver(t *testing.T) {
+	const n = 1300
+	path := writePipelineFile(t, n, 64) // 21 blocks
+	ref := drainPipeline(t, path, PipelineConfig{Depth: -1}, 64)
+
+	obs := &recordingObserver{}
+	got := drainPipeline(t, path, PipelineConfig{Depth: 4, Workers: 2, Observer: obs}, 64)
+	if len(got) != n {
+		t.Fatalf("observed scan saw %d rows, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("observer changed delivery: row %d = %v, want %v", i, got[i], ref[i])
+		}
+	}
+	if len(obs.readings) != 21 {
+		t.Fatalf("observer saw %d readings, want one per block (21)", len(obs.readings))
+	}
+	for i, l := range obs.readings {
+		if l.Blocks != int64(i+1) {
+			t.Fatalf("reading %d: Blocks = %d, want %d", i, l.Blocks, i+1)
+		}
+		if l.InFlight < 0 || l.InFlight > 4 {
+			t.Fatalf("reading %d: InFlight = %d outside [0, depth]", i, l.InFlight)
+		}
+		if l.Ring < 0 || l.Read < 0 || l.Decode < 0 || l.Deliver < 0 {
+			t.Fatalf("reading %d: negative gauge: %+v", i, l)
+		}
+	}
+	last := obs.readings[len(obs.readings)-1]
+	if last.Decode <= 0 {
+		t.Fatalf("final reading has zero decode time: %+v", last)
+	}
+}
+
+// TestPipelineObserverFallback: non-pipelined sources never emit
+// readings — the observer hook is a pipeline feature, not a scan feature.
+func TestPipelineObserverFallback(t *testing.T) {
+	schema := MustSchema([]Attribute{{Name: "a", Kind: Numeric}}, 2)
+	tuples := make([]Tuple, 100)
+	for i := range tuples {
+		tuples[i] = Tuple{Values: []float64{float64(i)}, Class: 0}
+	}
+	obs := &recordingObserver{}
+	sc, err := ScanChunksPipelined(NewMemSource(schema, tuples), PipelineConfig{Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	ch := NewChunk(1, 64)
+	for {
+		ch.Reset()
+		if err := sc.NextChunk(ch); err == io.EOF || ch.Len() == 0 {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(obs.readings) != 0 {
+		t.Fatalf("fallback scan emitted %d pipeline readings", len(obs.readings))
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatBucketRoundTrip pins the log-linear bucket geometry: every value
+// must land in a bucket whose bounds contain it, and consecutive buckets
+// must tile the value range without gaps or overlaps.
+func TestLatBucketRoundTrip(t *testing.T) {
+	check := func(v int64) {
+		idx := latBucketOf(v)
+		lo, hi := latBucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d mapped to bucket %d covering [%d, %d]", v, idx, lo, hi)
+		}
+	}
+	for v := int64(0); v < 100_000; v++ {
+		check(v)
+	}
+	for k := uint(2); k < 62; k++ {
+		base := int64(1) << k
+		for _, v := range []int64{base - 1, base, base + 1, base + base/2, 2*base - 1} {
+			check(v)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100_000; i++ {
+		check(rng.Int63())
+	}
+	if got := latBucketOf(-5); got != 0 {
+		t.Fatalf("negative value mapped to bucket %d, want 0", got)
+	}
+
+	// Contiguity: bucket i+1 starts exactly where bucket i ends.
+	prevHi := int64(-1)
+	for idx := 0; idx < latBuckets; idx++ {
+		lo, hi := latBucketBounds(idx)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, want %d", idx, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d inverted: [%d, %d]", idx, lo, hi)
+		}
+		prevHi = hi
+	}
+}
+
+func TestLatencyNilSafe(t *testing.T) {
+	var h *LatencyHistogram
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil latency histogram accumulated state")
+	}
+	qs := h.Quantiles(0.5, 0.99)
+	if qs[0] != 0 || qs[1] != 0 {
+		t.Fatalf("nil latency histogram quantiles = %v", qs)
+	}
+}
+
+func TestLatencyNilZeroAlloc(t *testing.T) {
+	var h *LatencyHistogram
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(time.Millisecond) })
+	if allocs != 0 {
+		t.Fatalf("nil Observe allocated %v objects per op", allocs)
+	}
+	live := &LatencyHistogram{}
+	allocs = testing.AllocsPerRun(1000, func() { live.Observe(time.Millisecond) })
+	if allocs != 0 {
+		t.Fatalf("live Observe allocated %v objects per op", allocs)
+	}
+}
+
+// TestLatencyQuantilesVsExact is the property test of the estimator: for
+// mixed workload shapes, every estimated quantile must agree with the
+// exact sorted-sample quantile to within the documented log-linear error
+// bound (1/latSub relative, i.e. 25%).
+func TestLatencyQuantilesVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct {
+		name string
+		gen  func() int64
+	}{
+		{"uniform-us", func() int64 { return 1 + rng.Int63n(1_000_000) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(10) == 0 {
+				return 50_000_000 + rng.Int63n(10_000_000) // slow tail
+			}
+			return 10_000 + rng.Int63n(5_000)
+		}},
+		{"exponentialish", func() int64 {
+			return int64(1_000 * (1 + rng.ExpFloat64()*500))
+		}},
+		{"tiny", func() int64 { return rng.Int63n(16) }},
+	}
+	ps := []float64{0.5, 0.9, 0.95, 0.99, 0.999}
+	for _, shape := range shapes {
+		h := &LatencyHistogram{}
+		samples := make([]int64, 20_000)
+		for i := range samples {
+			v := shape.gen()
+			samples[i] = v
+			h.Observe(time.Duration(v))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		got := h.Quantiles(ps...)
+		for i, p := range ps {
+			// Same rank definition as the estimator: ceil(p*n), 1-based.
+			rank := int(math.Ceil(p * float64(len(samples))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := samples[rank-1]
+			est := int64(got[i])
+			// The estimate and the exact value share a bucket, so the gap
+			// is bounded by the bucket width: 25% of the lower bound, plus
+			// one for integer rounding at the tiny end.
+			tol := exact/latSub + 1
+			if diff := est - exact; diff < -tol || diff > tol {
+				t.Errorf("%s p%g: estimate %d vs exact %d (tolerance %d)",
+					shape.name, p*100, est, exact, tol)
+			}
+		}
+	}
+}
+
+func TestLatencyQuantilesMonotone(t *testing.T) {
+	h := &LatencyHistogram{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10_000; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+	}
+	qs := h.Quantiles(0.1, 0.5, 0.9, 0.99, 0.999, 1.0)
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Fatalf("quantiles not monotone: %v", qs)
+		}
+	}
+}
+
+// TestLatencyConcurrent hammers one histogram from many goroutines; count
+// and sum are exact regardless of sharding, and the test doubles as the
+// -race exercise for the lock-free shards.
+func TestLatencyConcurrent(t *testing.T) {
+	h := &LatencyHistogram{}
+	const goroutines, perG = 8, 5_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(1 + rng.Int63n(1_000_000)))
+				if i%64 == 0 {
+					h.Quantiles(0.5, 0.99) // concurrent reads must be safe
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("sum = %d, want > 0", h.Sum())
+	}
+}
+
+func TestLatencySnapshotEmpty(t *testing.T) {
+	h := &LatencyHistogram{}
+	s := h.snapshot()
+	if s.Count != 0 || s.P50NS != 0 || s.P999NS != 0 || s.MeanNS != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestRegistryLatency(t *testing.T) {
+	r := NewRegistry()
+	l := r.Latency("update.latency")
+	if r.Latency("update.latency") != l {
+		t.Fatal("Latency did not return the cached instrument")
+	}
+	l.Observe(2 * time.Millisecond)
+	l.Observe(4 * time.Millisecond)
+	snap := r.Snapshot()
+	ls, ok := snap.Latencies["update.latency"]
+	if !ok {
+		t.Fatal("snapshot missing latency instrument")
+	}
+	if ls.Count != 2 || ls.SumNS != int64(6*time.Millisecond) {
+		t.Fatalf("latency snapshot = %+v", ls)
+	}
+	if ls.P50NS <= 0 || ls.P99NS < ls.P50NS {
+		t.Fatalf("latency quantiles = %+v", ls)
+	}
+	var nilReg *Registry
+	if nilReg.Latency("x") != nil {
+		t.Fatal("nil registry handed out a latency instrument")
+	}
+}

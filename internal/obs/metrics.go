@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -22,6 +23,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	latencies  map[string]*LatencyHistogram
 }
 
 // NewRegistry returns an enabled registry.
@@ -30,6 +32,7 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		latencies:  map[string]*LatencyHistogram{},
 	}
 }
 
@@ -82,6 +85,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// Latency returns the named latency histogram, creating it on first use.
+// Returns nil when the registry is nil.
+func (r *Registry) Latency(name string) *LatencyHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := r.latencies[name]
+	if l == nil {
+		l = &LatencyHistogram{}
+		r.latencies[name] = l
+	}
+	return l
 }
 
 // Counter is a monotonically increasing atomic counter.
@@ -206,11 +225,59 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the p-quantile (p in [0, 1]) of the observations a
+// HistogramSnapshot summarizes, interpolating linearly within the
+// power-of-two bucket that holds the target rank. The estimate therefore
+// lands in the same bucket as the exact sorted-sample quantile — a
+// relative error bounded by the bucket width (a factor of two) — which is
+// the resolution the underlying Histogram retains. Returns 0 when the
+// snapshot is empty or p is out of range.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || math.IsNaN(p) || p < 0 || p > 1 {
+		return 0
+	}
+	// Recover the (upper bound, count) pairs from the snapshot's bucket
+	// keys and order them by bound.
+	type bkt struct {
+		upper int64
+		n     int64
+	}
+	bkts := make([]bkt, 0, len(s.Buckets))
+	for key, n := range s.Buckets {
+		var upper int64
+		if _, err := fmt.Sscanf(key, "le_%d", &upper); err != nil {
+			continue
+		}
+		bkts = append(bkts, bkt{upper, n})
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].upper < bkts[j].upper })
+	rank := int64(math.Ceil(p * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range bkts {
+		if cum+b.n < rank {
+			cum += b.n
+			continue
+		}
+		// Bucket le_U covers (U+1)/2 .. U for U > 1; le_1 covers <= 1.
+		lower := int64(1)
+		if b.upper > 1 {
+			lower = (b.upper + 1) / 2
+		}
+		frac := float64(rank-cum) / float64(b.n)
+		return float64(lower) + frac*float64(b.upper-lower)
+	}
+	return 0
+}
+
 // MetricsSnapshot is an immutable dump of a Registry.
 type MetricsSnapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Latencies  map[string]LatencySnapshot   `json:"latencies,omitempty"`
 }
 
 // Snapshot copies every instrument's current value. Returns the zero
@@ -238,6 +305,12 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
 		for name, h := range r.histograms {
 			s.Histograms[name] = h.snapshot()
+		}
+	}
+	if len(r.latencies) > 0 {
+		s.Latencies = make(map[string]LatencySnapshot, len(r.latencies))
+		for name, l := range r.latencies {
+			s.Latencies[name] = l.snapshot()
 		}
 	}
 	return s

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// Registry. The internal dotted names map onto the Prometheus data model
+// as follows:
+//
+//   - Dots become underscores and every metric is prefixed "boat_":
+//     "scan.tuples" -> boat_scan_tuples.
+//   - Purely numeric name segments become labels keyed by the preceding
+//     segment, so per-shard series like "scan.shard.3.tuples" collapse
+//     into one labeled metric family boat_scan_shard_tuples{shard="3"}
+//     instead of an unbounded set of metric names.
+//   - Counters expose "counter", gauges "gauge".
+//   - Histograms (power-of-two value buckets) expose the native histogram
+//     type: cumulative boat_<name>_bucket{le="..."} series plus _sum and
+//     _count.
+//   - Latency histograms expose a summary in seconds — boat_<name>_seconds
+//     {quantile="0.5|0.95|0.99|0.999"} plus _sum and _count — computed
+//     from the log-linear buckets at scrape time.
+//
+// Output is deterministic: families are sorted by name, series within a
+// family by label value, so scrapes diff cleanly and the golden test can
+// pin the grammar down.
+
+// promPrefix namespaces every exposed metric.
+const promPrefix = "boat_"
+
+// promSeries is one exposition line before formatting.
+type promSeries struct {
+	name   string // full metric name (prefix + sanitized + suffixes)
+	labels string // rendered label set incl. braces, "" for none
+	value  float64
+}
+
+// promFamily is one metric family: a TYPE header plus its series.
+type promFamily struct {
+	name   string
+	typ    string
+	series []promSeries
+}
+
+// promName sanitizes a dotted internal name: numeric segments turn into
+// labels keyed by their preceding segment, the rest joins with
+// underscores. Characters outside [a-zA-Z0-9_] map to '_'.
+func promName(name string) (metric string, labels []string) {
+	segs := strings.Split(name, ".")
+	var parts []string
+	for _, seg := range segs {
+		if isDigits(seg) && len(parts) > 0 {
+			labels = append(labels, fmt.Sprintf("%s=%q", parts[len(parts)-1], seg))
+			continue
+		}
+		parts = append(parts, sanitizeSeg(seg))
+	}
+	return promPrefix + strings.Join(parts, "_"), labels
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func sanitizeSeg(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(labels, ",") + "}"
+}
+
+// promValue renders a sample value the way Prometheus expects.
+func promValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WriteProm writes the registry's current state in Prometheus text
+// exposition format. Safe to call concurrently with metric updates — each
+// instrument is read atomically. A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	fams := map[string]*promFamily{}
+	family := func(name, typ string) *promFamily {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+
+	// Snapshot under the registry lock only to collect the instrument
+	// handles; values are loaded atomically afterwards.
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		histograms[n] = h
+	}
+	latencies := make(map[string]*LatencyHistogram, len(r.latencies))
+	for n, l := range r.latencies {
+		latencies[n] = l
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		metric, labels := promName(name)
+		f := family(metric, "counter")
+		f.series = append(f.series, promSeries{metric, renderLabels(labels), float64(c.Value())})
+	}
+	for name, g := range gauges {
+		metric, labels := promName(name)
+		f := family(metric, "gauge")
+		f.series = append(f.series, promSeries{metric, renderLabels(labels), g.Value()})
+	}
+	for name, h := range histograms {
+		metric, labels := promName(name)
+		f := family(metric, "histogram")
+		snap := h.snapshot()
+		// Cumulative buckets in ascending bound order, then +Inf, _sum,
+		// _count — the native histogram layout.
+		type bkt struct {
+			upper int64
+			n     int64
+		}
+		bkts := make([]bkt, 0, len(snap.Buckets))
+		for key, n := range snap.Buckets {
+			var upper int64
+			if _, err := fmt.Sscanf(key, "le_%d", &upper); err == nil {
+				bkts = append(bkts, bkt{upper, n})
+			}
+		}
+		sort.Slice(bkts, func(i, j int) bool { return bkts[i].upper < bkts[j].upper })
+		var cum int64
+		for _, b := range bkts {
+			cum += b.n
+			le := append(append([]string{}, labels...), fmt.Sprintf("le=%q", fmt.Sprint(b.upper)))
+			f.series = append(f.series, promSeries{metric + "_bucket", renderLabels(le), float64(cum)})
+		}
+		inf := append(append([]string{}, labels...), `le="+Inf"`)
+		f.series = append(f.series, promSeries{metric + "_bucket", renderLabels(inf), float64(snap.Count)})
+		f.series = append(f.series, promSeries{metric + "_sum", renderLabels(labels), float64(snap.Sum)})
+		f.series = append(f.series, promSeries{metric + "_count", renderLabels(labels), float64(snap.Count)})
+	}
+	for name, l := range latencies {
+		metric, labels := promName(name)
+		metric += "_seconds"
+		f := family(metric, "summary")
+		snap := l.snapshot()
+		for _, q := range []struct {
+			q  string
+			ns int64
+		}{{"0.5", snap.P50NS}, {"0.95", snap.P95NS}, {"0.99", snap.P99NS}, {"0.999", snap.P999NS}} {
+			ql := append(append([]string{}, labels...), fmt.Sprintf("quantile=%q", q.q))
+			f.series = append(f.series, promSeries{metric, renderLabels(ql), float64(q.ns) / 1e9})
+		}
+		f.series = append(f.series, promSeries{metric + "_sum", renderLabels(labels), float64(snap.SumNS) / 1e9})
+		f.series = append(f.series, promSeries{metric + "_count", renderLabels(labels), float64(snap.Count)})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		// Counter and gauge families sort their series for deterministic
+		// output; histogram and summary families keep append order — their
+		// bucket series must stay in ascending le/quantile order, which a
+		// lexical label sort would scramble (le="127" < le="15").
+		if f.typ == "counter" || f.typ == "gauge" {
+			sort.SliceStable(f.series, func(i, j int) bool {
+				if f.series[i].name != f.series[j].name {
+					return f.series[i].name < f.series[j].name
+				}
+				return f.series[i].labels < f.series[j].labels
+			})
+		}
+		for _, s := range f.series {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, promValue(s.value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

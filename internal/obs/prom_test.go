@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promTestRegistry builds a registry covering every instrument kind and
+// the numeric-segment label sanitization.
+func promTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("scan.tuples").Add(5)
+	r.Counter("scan.shard.0.tuples").Add(7)
+	r.Counter("scan.shard.3.tuples").Add(9)
+	r.Gauge("update.tuples_per_sec").Set(1.5)
+	h := r.Histogram("scan.stuck.per_node")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100)
+	l := r.Latency("update.latency")
+	l.Observe(2 * time.Millisecond)
+	l.Observe(8 * time.Millisecond)
+	return r
+}
+
+// TestWritePromGolden pins the exposition down line by line for the
+// deterministic families (counters and gauges) and structurally for the
+// histogram and summary families.
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE boat_scan_tuples counter\n",
+		"boat_scan_tuples 5\n",
+		"# TYPE boat_scan_shard_tuples counter\n",
+		`boat_scan_shard_tuples{shard="0"} 7` + "\n",
+		`boat_scan_shard_tuples{shard="3"} 9` + "\n",
+		"# TYPE boat_update_tuples_per_sec gauge\n",
+		"boat_update_tuples_per_sec 1.5\n",
+		"# TYPE boat_scan_stuck_per_node histogram\n",
+		`boat_scan_stuck_per_node_bucket{le="+Inf"} 3` + "\n",
+		"boat_scan_stuck_per_node_sum 104\n",
+		"boat_scan_stuck_per_node_count 3\n",
+		"# TYPE boat_update_latency_seconds summary\n",
+		`boat_update_latency_seconds{quantile="0.5"}`,
+		`boat_update_latency_seconds{quantile="0.99"}`,
+		`boat_update_latency_seconds{quantile="0.999"}`,
+		"boat_update_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	// The per-shard series collapsed into one family: no unlabeled
+	// boat_scan_shard_3_tuples-style names may survive.
+	if strings.Contains(out, "shard_3") || strings.Contains(out, "shard_0") {
+		t.Fatalf("numeric segment leaked into a metric name:\n%s", out)
+	}
+}
+
+// TestWritePromGrammar validates every emitted line against the text
+// exposition grammar: TYPE comments and "name{labels} value" samples.
+func TestWritePromGrammar(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	typeRe := regexp.MustCompile(`^# TYPE [a-zA-Z_][a-zA-Z0-9_]* (counter|gauge|histogram|summary)$`)
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|NaN|\+Inf|-Inf)$`)
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "#"):
+			if !typeRe.MatchString(line) {
+				t.Errorf("bad TYPE line: %q", line)
+			}
+		default:
+			if !sampleRe.MatchString(line) {
+				t.Errorf("bad sample line: %q", line)
+			}
+			if seen[line] {
+				t.Errorf("duplicate sample line: %q", line)
+			}
+			seen[line] = true
+		}
+	}
+}
+
+// TestWritePromHistogramBuckets checks the native-histogram layout:
+// ascending le bounds, non-decreasing cumulative counts, +Inf last and
+// equal to _count.
+func TestWritePromHistogramBuckets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bucketRe := regexp.MustCompile(`^boat_scan_stuck_per_node_bucket\{le="([^"]+)"\} ([0-9]+)$`)
+	var lastLe, lastCum int64 = -1, -1
+	var infCum int64 = -1
+	for _, line := range strings.Split(buf.String(), "\n") {
+		m := bucketRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		cum, _ := strconv.ParseInt(m[2], 10, 64)
+		if m[1] == "+Inf" {
+			infCum = cum
+			continue
+		}
+		if infCum != -1 {
+			t.Fatalf("finite bucket after +Inf: %q", line)
+		}
+		le, _ := strconv.ParseInt(m[1], 10, 64)
+		if le <= lastLe {
+			t.Fatalf("le bounds not ascending: %d after %d", le, lastLe)
+		}
+		if cum < lastCum {
+			t.Fatalf("cumulative counts decreased: %d after %d", cum, lastCum)
+		}
+		lastLe, lastCum = le, cum
+	}
+	if infCum != 3 {
+		t.Fatalf("+Inf bucket = %d, want 3 (the observation count)", infCum)
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	r := promTestRegistry()
+	var a, b bytes.Buffer
+	if err := r.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two scrapes of an idle registry differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestWritePromNilAndEmpty(t *testing.T) {
+	var nilReg *Registry
+	var buf bytes.Buffer
+	if err := nilReg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+	if err := NewRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty registry wrote %q", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := []struct {
+		in     string
+		metric string
+		labels string
+	}{
+		{"scan.tuples", "boat_scan_tuples", ""},
+		{"scan.shard.3.tuples", "boat_scan_shard_tuples", `{shard="3"}`},
+		{"scan.shard.12.tuples_per_sec", "boat_scan_shard_tuples_per_sec", `{shard="12"}`},
+		{"update.epoch", "boat_update_epoch", ""},
+		{"weird-name.with%chars", "boat_weird_name_with_chars", ""},
+	}
+	for _, c := range cases {
+		metric, labels := promName(c.in)
+		if metric != c.metric || renderLabels(labels) != c.labels {
+			t.Errorf("promName(%q) = %q %q, want %q %q",
+				c.in, metric, renderLabels(labels), c.metric, c.labels)
+		}
+	}
+}

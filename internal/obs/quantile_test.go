@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistogramSnapshotQuantileProperty compares the bucket-interpolation
+// estimate against the exact sorted-sample quantile: both must land in
+// the same power-of-two bucket, which is all the resolution a Histogram
+// retains.
+func TestHistogramSnapshotQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	shapes := []struct {
+		name string
+		gen  func() int64
+	}{
+		{"uniform", func() int64 { return 1 + rng.Int63n(1<<20) }},
+		{"skewed", func() int64 { return int64(1 + rng.ExpFloat64()*5_000) }},
+		{"small", func() int64 { return rng.Int63n(10) }},
+		{"wide", func() int64 { return 1 + rng.Int63n(1<<40) }},
+	}
+	ps := []float64{0.25, 0.5, 0.9, 0.99, 0.999, 1.0}
+	for _, shape := range shapes {
+		h := &Histogram{}
+		samples := make([]int64, 10_000)
+		for i := range samples {
+			v := shape.gen()
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.snapshot()
+		for _, p := range ps {
+			rank := int(math.Ceil(p * float64(len(samples))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := samples[rank-1]
+			est := snap.Quantile(p)
+			if est < 0 {
+				t.Fatalf("%s p%g: negative estimate %g", shape.name, p*100, est)
+			}
+			// Same-bucket property: the estimate may sit anywhere inside
+			// the exact value's power-of-two bucket.
+			if bucketOf(int64(math.Ceil(est))) != bucketOf(exact) && bucketOf(int64(est)) != bucketOf(exact) {
+				t.Errorf("%s p%g: estimate %g not in exact value %d's bucket",
+					shape.name, p*100, est, exact)
+			}
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty snapshot quantile = %g", got)
+	}
+	h := &Histogram{}
+	h.Observe(100)
+	snap := h.snapshot()
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := snap.Quantile(p); got != 0 {
+			t.Fatalf("out-of-range p=%v returned %g", p, got)
+		}
+	}
+	// A single observation: every quantile lands in its bucket.
+	for _, p := range []float64{0, 0.5, 1} {
+		got := snap.Quantile(p)
+		if bucketOf(int64(got)) != bucketOf(100) {
+			t.Fatalf("single-sample quantile(%g) = %g, not in 100's bucket", p, got)
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := &Histogram{}
+	for i := 0; i < 5_000; i++ {
+		h.Observe(1 + rng.Int63n(1<<30))
+	}
+	snap := h.snapshot()
+	prev := -1.0
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		q := snap.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantiles not monotone at p=%g: %g < %g", p, q, prev)
+		}
+		prev = q
+	}
+}

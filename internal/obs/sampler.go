@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"log/slog"
+	"runtime"
+	"time"
+)
+
+// Sampler is the background runtime/rate sampler: a single goroutine on a
+// ticker that publishes Go runtime gauges (heap, GC, goroutines) into the
+// registry and derives windowed rates — events per second over the last
+// Window, not lifetime averages — for a configured set of counters. Rates
+// land in gauges named "<counter>_per_sec_window", so a soak whose
+// throughput collapses mid-run shows it within one window instead of
+// being averaged away by hours of history.
+type Sampler struct {
+	reg  *Registry
+	cfg  SamplerConfig
+	quit chan struct{}
+	done chan struct{}
+
+	// ring holds one rate sample per tick, window/interval entries deep.
+	ring []rateSample
+	next int
+}
+
+// rateSample is one tick's counter readings.
+type rateSample struct {
+	t      time.Time
+	counts []int64
+}
+
+// SamplerConfig shapes a Sampler. The zero value samples every second
+// over a ten-second rate window with no rate counters.
+type SamplerConfig struct {
+	// Interval between samples. 0 selects one second.
+	Interval time.Duration
+	// Window is the rate-computation horizon. 0 selects ten seconds;
+	// values below Interval clamp to Interval.
+	Window time.Duration
+	// Rates names the counters to derive windowed per-second rates for.
+	Rates []string
+	// Logger receives sampler lifecycle records (nil discards).
+	Logger *slog.Logger
+}
+
+func (c SamplerConfig) normalized() SamplerConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Window < c.Interval {
+		c.Window = c.Interval
+	}
+	return c
+}
+
+// StartSampler launches the sampler goroutine against reg. Returns nil
+// (a safe no-op handle) when reg is nil — a disabled registry must not
+// grow a goroutine. Close stops the goroutine and waits for it to exit.
+func StartSampler(reg *Registry, cfg SamplerConfig) *Sampler {
+	if reg == nil {
+		return nil
+	}
+	cfg = cfg.normalized()
+	depth := int(cfg.Window/cfg.Interval) + 1
+	s := &Sampler{
+		reg:  reg,
+		cfg:  cfg,
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+		ring: make([]rateSample, 0, depth),
+	}
+	// One synchronous sample before the goroutine starts, so the runtime
+	// series exist (and rate baselines are anchored) as soon as
+	// StartSampler returns — a scrape racing the first tick still sees
+	// every gauge.
+	s.sample(time.Now())
+	go s.run()
+	return s
+}
+
+// Close stops the sampler. Safe on nil and idempotent-unsafe (call once).
+func (s *Sampler) Close() {
+	if s == nil {
+		return
+	}
+	close(s.quit)
+	<-s.done
+}
+
+func (s *Sampler) run() {
+	defer close(s.done)
+	tick := time.NewTicker(s.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case now := <-tick.C:
+			s.sample(now)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// sample publishes one round of runtime gauges and windowed rates.
+func (s *Sampler) sample(now time.Time) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	s.reg.Gauge("runtime.heap_inuse_bytes").Set(float64(ms.HeapInuse))
+	s.reg.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	s.reg.Gauge("runtime.sys_bytes").Set(float64(ms.Sys))
+	s.reg.Gauge("runtime.next_gc_bytes").Set(float64(ms.NextGC))
+	s.reg.Gauge("runtime.gc_cycles").Set(float64(ms.NumGC))
+	s.reg.Gauge("runtime.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	if ms.NumGC > 0 {
+		// Most recent pause, from the runtime's 256-entry pause ring.
+		s.reg.Gauge("runtime.gc_last_pause_seconds").Set(
+			float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9)
+	}
+	s.reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge("runtime.gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
+
+	if len(s.cfg.Rates) == 0 {
+		return
+	}
+	cur := rateSample{t: now, counts: make([]int64, len(s.cfg.Rates))}
+	for i, name := range s.cfg.Rates {
+		cur.counts[i] = s.reg.Counter(name).Value()
+	}
+	// The ring keeps the last depth samples; the oldest one anchors the
+	// window. Until the ring fills, the window is simply shorter.
+	var oldest rateSample
+	if len(s.ring) < cap(s.ring) {
+		if len(s.ring) > 0 {
+			oldest = s.ring[0]
+		}
+		s.ring = append(s.ring, cur)
+	} else {
+		oldest = s.ring[s.next]
+		s.ring[s.next] = cur
+		s.next = (s.next + 1) % len(s.ring)
+	}
+	if oldest.counts == nil {
+		return
+	}
+	secs := now.Sub(oldest.t).Seconds()
+	if secs <= 0 {
+		return
+	}
+	for i, name := range s.cfg.Rates {
+		delta := cur.counts[i] - oldest.counts[i]
+		if delta < 0 {
+			delta = 0
+		}
+		s.reg.Gauge(name + "_per_sec_window").Set(float64(delta) / secs)
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live diagnostics endpoint of a running boat process: one
+// HTTP listener exposing the metrics registry in Prometheus text
+// exposition format, health and readiness probes, expvar, and the
+// standard pprof profilers. It is deliberately part of internal/obs
+// rather than the commands so every binary (and test) wires the identical
+// surface:
+//
+//	/metrics      Prometheus text exposition of the Registry
+//	/healthz      liveness: 200 while the process runs
+//	/readyz       readiness: 200 when ServerConfig.Ready returns nil
+//	/debug/vars   expvar (includes registries published via Publish)
+//	/debug/pprof  CPU/heap/goroutine/trace profilers
+//
+// The server owns no instrumentation state: scrapes read the registry's
+// atomics, so a scrape never blocks a build, an update, or a prediction.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	log  *slog.Logger
+	done chan struct{}
+}
+
+// ServerConfig shapes StartServer.
+type ServerConfig struct {
+	// Addr is the listen address (e.g. ":9090", "127.0.0.1:0"). Empty
+	// disables the server entirely: StartServer returns (nil, nil), binds
+	// no socket and starts no goroutine.
+	Addr string
+	// Registry backs /metrics and /debug/vars. A nil registry serves an
+	// empty exposition (probes still work).
+	Registry *Registry
+	// Ready gates /readyz: nil error (or a nil func) reports ready (200),
+	// an error reports 503 with the error text as the body. The function
+	// is called per probe and must be safe for concurrent use.
+	Ready func() error
+	// Logger receives server lifecycle records (nil discards).
+	Logger *slog.Logger
+}
+
+// StartServer binds cfg.Addr and serves the diagnostics surface in a
+// background goroutine until Close. A bind failure is returned, not
+// retried — an operator asking for a diagnostics port wants to know it
+// is taken, not a silently dark endpoint.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Addr == "" {
+		return nil, nil
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = NopLogger()
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: diagnostics server listen %s: %w", cfg.Addr, err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := cfg.Registry.WriteProm(w); err != nil {
+			log.Warn("metrics scrape failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Ready != nil {
+			if err := cfg.Ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	// expvar and pprof are mounted on this private mux explicitly —
+	// nothing is registered on http.DefaultServeMux, so a process that
+	// disables the server exposes nothing anywhere.
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+		log:  log,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Error("diagnostics server failed", "err", err)
+		}
+	}()
+	log.Info("diagnostics server listening", "addr", ln.Addr().String())
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" to the actual
+// port). Empty on nil.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down: a short graceful drain for in-flight
+// scrapes, then a hard close. Safe on nil; returns once the serve
+// goroutine has exited.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	<-s.done
+	return err
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestServerDisabled pins the zero-cost contract of Addr == "": no
+// server, no error, no goroutines, and the nil handle is inert.
+func TestServerDisabled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := StartServer(ServerConfig{Addr: "", Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil {
+		t.Fatal("disabled server returned a handle")
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("disabled server grew goroutines: %d -> %d", before, after)
+	}
+	if s.Addr() != "" {
+		t.Fatalf("nil server Addr = %q", s.Addr())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil server Close = %v", err)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("update.tuples").Add(42)
+	reg.Latency("update.latency").Observe(3 * time.Millisecond)
+
+	var notReady atomic.Bool
+	notReady.Store(true)
+	s, err := StartServer(ServerConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Ready: func() error {
+			if notReady.Load() {
+				return errors.New("no epoch published yet")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body, _ := get(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// Readiness transition: 503 with the error text, then 200.
+	code, body, _ = get(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "no epoch published") {
+		t.Fatalf("not-ready /readyz = %d %q", code, body)
+	}
+	notReady.Store(false)
+	code, body, _ = get(t, base+"/readyz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ready" {
+		t.Fatalf("ready /readyz = %d %q", code, body)
+	}
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"boat_update_tuples 42",
+		`boat_update_latency_seconds{quantile="0.5"}`,
+		"boat_update_latency_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d %q", code, body)
+	}
+	code, _, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestServerNilRegistryServesEmptyMetrics(t *testing.T) {
+	s, err := StartServer(ServerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body, _ := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("/metrics on nil registry = %d %q", code, body)
+	}
+	// No Ready hook: /readyz defaults to ready.
+	code, _, _ = get(t, "http://"+s.Addr()+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("/readyz without hook = %d", code)
+	}
+}
+
+func TestServerBindFailure(t *testing.T) {
+	s1, err := StartServer(ServerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	if _, err := StartServer(ServerConfig{Addr: s1.Addr()}); err == nil {
+		t.Fatal("second bind on the same address succeeded")
+	}
+}
+
+// TestServerScrapeDuringUpdates is the concurrency gate (run under -race
+// in CI): writers hammer every instrument kind while scrapers read
+// /metrics, and the final scrape must reflect the completed totals.
+func TestServerScrapeDuringUpdates(t *testing.T) {
+	reg := NewRegistry()
+	s, err := StartServer(ServerConfig{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	const writers, perW = 4, 2_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := reg.Counter("update.tuples")
+			g := reg.Gauge("update.tuples_per_sec")
+			h := reg.Histogram("scan.stuck.per_node")
+			l := reg.Latency("update.latency")
+			shard := reg.Counter(fmt.Sprintf("scan.shard.%d.tuples", id))
+			for i := 0; i < perW; i++ {
+				c.Add(1)
+				g.Set(float64(i))
+				h.Observe(int64(i % 512))
+				l.Observe(time.Duration(1+i%1000) * time.Microsecond)
+				shard.Inc()
+			}
+		}(w)
+	}
+	var scrapeWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, _, _ := get(t, base+"/metrics")
+				if code != http.StatusOK {
+					t.Errorf("scrape returned %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	_, body, _ := get(t, base+"/metrics")
+	if want := fmt.Sprintf("boat_update_tuples %d", writers*perW); !strings.Contains(body, want) {
+		t.Fatalf("final scrape missing %q:\n%s", want, body)
+	}
+	if want := fmt.Sprintf("boat_update_latency_seconds_count %d", writers*perW); !strings.Contains(body, want) {
+		t.Fatalf("final scrape missing %q", want)
+	}
+}

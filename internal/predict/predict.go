@@ -86,6 +86,13 @@ type Predictor struct {
 	tuples *obs.Counter
 	chunks *obs.Counter
 	rate   *obs.Gauge
+	// latency distributes whole-Predict wall time; chunkLat distributes
+	// per-chunk kernel time (the serve hot path — recorded through a
+	// sharded histogram so concurrent workers never contend on a lock).
+	// Both are nil when metrics are disabled, and classify skips even the
+	// clock reads then, so the disabled hot loop is untouched.
+	latency  *obs.LatencyHistogram
+	chunkLat *obs.LatencyHistogram
 }
 
 // New compiles the tree and returns a predictor over it.
@@ -100,12 +107,14 @@ func New(t *tree.Tree, cfg Config) (*Predictor, error) {
 // NewFlat wraps an already-compiled tree.
 func NewFlat(f *tree.FlatTree, cfg Config) *Predictor {
 	return &Predictor{
-		flat:   f,
-		cfg:    cfg,
-		pool:   data.NewChunkPool(len(f.Schema().Attributes), cfg.chunkRows()),
-		tuples: cfg.Metrics.Counter("predict.tuples"),
-		chunks: cfg.Metrics.Counter("predict.chunks"),
-		rate:   cfg.Metrics.Gauge("predict.tuples_per_sec"),
+		flat:     f,
+		cfg:      cfg,
+		pool:     data.NewChunkPool(len(f.Schema().Attributes), cfg.chunkRows()),
+		tuples:   cfg.Metrics.Counter("predict.tuples"),
+		chunks:   cfg.Metrics.Counter("predict.chunks"),
+		rate:     cfg.Metrics.Gauge("predict.tuples_per_sec"),
+		latency:  cfg.Metrics.Latency("predict.latency"),
+		chunkLat: cfg.Metrics.Latency("predict.chunk_latency"),
 	}
 }
 
@@ -185,7 +194,9 @@ func (p *Predictor) Predict(src data.Source) (*Result, error) {
 		}
 	}
 
-	res.Seconds = time.Since(start).Seconds()
+	elapsed := time.Since(start)
+	p.latency.Observe(elapsed)
+	res.Seconds = elapsed.Seconds()
 	if res.Seconds > 0 {
 		res.TuplesPerSec = float64(res.Tuples) / res.Seconds
 	}
@@ -309,7 +320,14 @@ func (p *Predictor) predictParallel(src data.Source, labels []int, segs *[][]int
 // classify routes one chunk into its output slot and updates the worker's
 // local accounting.
 func (p *Predictor) classify(ch *data.Chunk, out []int, s *workerScratch) {
+	var t0 time.Time
+	if p.chunkLat != nil {
+		t0 = time.Now()
+	}
 	p.flat.ClassifyChunkScratch(ch, out, s.sc)
+	if p.chunkLat != nil {
+		p.chunkLat.Observe(time.Since(t0))
+	}
 	if s.counts != nil {
 		k := p.flat.Schema().ClassCount
 		for i, c := range ch.Classes() {

@@ -103,7 +103,7 @@ func main() {
 		faultBuilds = flag.Int("faultbuilds", 100, "number of fault-injected builds in the soak")
 		faultSeed   = flag.Int64("faultseed", 1, "base seed for the injected fault sequence")
 
-		benchJSON   = flag.String("benchjson", "", "run the cleanup-scan micro-benchmark (row vs chunk vs sharded on the Fig-4/F1 workload) and write measurements to this JSON file instead of a figure")
+		benchJSON   = flag.String("benchjson", "", "run the cleanup-scan micro-benchmark (row vs chunk vs sharded vs block-sharded on the Fig-4/F1 workload) and write measurements to this JSON file instead of a figure")
 		benchTuples = flag.Int64("benchtuples", 200_000, "dataset size for -benchjson")
 		benchRounds = flag.Int("benchrounds", 3, "scan passes per mode for -benchjson")
 
@@ -457,18 +457,21 @@ type scanBenchReport struct {
 	Rounds        int                    `json:"rounds"`
 	GOMAXPROCS    int                    `json:"gomaxprocs"`
 	Config        benchProvenance        `json:"config"`
-	Modes         []core.ScanMeasurement `json:"modes"`
-	IOStats       iostats.Snapshot       `json:"iostats"`
-	ChunkSpeedup  float64                `json:"chunk_speedup_vs_row"`
-	AllocsRatio   float64                `json:"row_allocs_per_chunk_alloc"`
-	ChunkPerTuple float64                `json:"chunk_allocs_per_tuple"`
+	Modes               []core.ScanMeasurement `json:"modes"`
+	IOStats             iostats.Snapshot       `json:"iostats"`
+	ChunkSpeedup        float64                `json:"chunk_speedup_vs_row"`
+	BlockShardedSpeedup float64                `json:"block_sharded_speedup_vs_row"`
+	AllocsRatio         float64                `json:"row_allocs_per_chunk_alloc"`
+	ChunkPerTuple       float64                `json:"chunk_allocs_per_tuple"`
 }
 
 // runScanBench times cleanup-scan passes per mode (row-at-a-time
-// baseline, sequential columnar, sharded columnar) over the Fig-4/F1
-// workload, prints a table with the iostats accounting, and writes the
-// measurements as JSON. The generator output is materialized up front so
-// the benchmark isolates the scan itself.
+// baseline, sequential columnar, chunk-sharded columnar, block-sharded
+// columnar) over the Fig-4/F1 workload, prints a table with the iostats
+// accounting, and writes the measurements as JSON. The generator output
+// is materialized up front so the benchmark isolates the scan itself;
+// the block-sharded mode reads the same tuples from a columnar file, the
+// only source kind that can be split by block ranges.
 func runScanBench(mc mainConfig, m split.Method, metrics *obs.Registry) int {
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "boatbench: benchjson: %v\n", err)
@@ -498,14 +501,36 @@ func runScanBench(mc mainConfig, m split.Method, metrics *obs.Registry) int {
 			GitModified:   modified,
 		},
 	}
+	// The block-sharded mode needs a block-splittable source: the same
+	// tuple sequence materialized as a columnar file (the in-memory source
+	// serving the other modes has no blocks to split).
+	colDir, err := os.MkdirTemp(mc.dir, "boatbench-scan-")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(colDir)
+	colPath := filepath.Join(colDir, "scan.boatc")
+	if _, err := data.WriteColFile(colPath, src, 0); err != nil {
+		return fail(err)
+	}
+
 	var total iostats.Snapshot
 	byMode := map[core.ScanMode]core.ScanMeasurement{}
-	for _, mode := range []core.ScanMode{core.ScanModeRow, core.ScanModeChunk, core.ScanModeSharded} {
+	for _, mode := range []core.ScanMode{core.ScanModeRow, core.ScanModeChunk, core.ScanModeSharded, core.ScanModeBlockSharded} {
+		benchSrc := data.Source(src)
+		if mode == core.ScanModeBlockSharded {
+			colSrc, err := data.OpenColFile(colPath)
+			if err != nil {
+				return fail(err)
+			}
+			benchSrc = colSrc
+		}
 		stats := &iostats.Stats{}
-		bench, err := core.NewScanBench(src, core.Config{
+		bench, err := core.NewScanBench(benchSrc, core.Config{
 			Method: m, MaxDepth: 6, MinSplit: 50, SampleSize: 2000,
 			Seed: 7, TempDir: mc.dir, Parallelism: mc.para, Stats: stats,
-			Metrics: metrics, Logger: mc.logger,
+			BlockSharding: mode == core.ScanModeBlockSharded,
+			Metrics:       metrics, Logger: mc.logger,
 		})
 		if err != nil {
 			return fail(err)
@@ -528,6 +553,7 @@ func runScanBench(mc mainConfig, m split.Method, metrics *obs.Registry) int {
 	row, chunk := byMode[core.ScanModeRow], byMode[core.ScanModeChunk]
 	if row.TuplesPerSec > 0 {
 		rep.ChunkSpeedup = chunk.TuplesPerSec / row.TuplesPerSec
+		rep.BlockShardedSpeedup = byMode[core.ScanModeBlockSharded].TuplesPerSec / row.TuplesPerSec
 	}
 	if chunk.AllocsPerTuple > 0 {
 		rep.AllocsRatio = row.AllocsPerTuple / chunk.AllocsPerTuple
@@ -731,10 +757,12 @@ type ioBenchReport struct {
 	RowFileBytes          int64               `json:"row_file_bytes"`
 	ColFileBytes          int64               `json:"col_file_bytes"`
 	Compression           float64             `json:"row_bytes_per_col_byte"`
-	Modes                 []ioScanMeasurement `json:"modes"`
-	SyncSpeedupVsRow      float64             `json:"col_sync_speedup_vs_row"`
-	PipelinedSpeedupVsRow float64             `json:"col_pipelined_speedup_vs_row"`
-	ZoneSkipSpeedup       float64             `json:"zone_skip_speedup"`
+	Modes                          []ioScanMeasurement `json:"modes"`
+	SyncSpeedupVsRow               float64             `json:"col_sync_speedup_vs_row"`
+	PipelinedSpeedupVsRow          float64             `json:"col_pipelined_speedup_vs_row"`
+	ZoneSkipSpeedup                float64             `json:"zone_skip_speedup"`
+	BlockShardedSpeedupVsRow       float64             `json:"col_block_sharded_speedup_vs_row"`
+	BlockShardedSpeedupVsPipelined float64             `json:"col_block_sharded_speedup_vs_pipelined"`
 	TreeConfigsVerified   int                 `json:"tree_configs_verified"`
 	TreesIdentical        bool                `json:"trees_identical"`
 }
@@ -826,11 +854,13 @@ func runIOBench(mc mainConfig, m split.Method) int {
 		path     string
 		depth    int
 		zoneSkip bool
+		scanMode core.ScanMode
 	}{
-		{"row", rowPath, 0, true},
-		{"col-sync", colPath, -1, true},
-		{"col-pipelined", colPath, 0, true},
-		{"col-noskip", colPath, 0, false},
+		{"row", rowPath, 0, true, core.ScanModeSharded},
+		{"col-sync", colPath, -1, true, core.ScanModeSharded},
+		{"col-pipelined", colPath, 0, true, core.ScanModeSharded},
+		{"col-noskip", colPath, 0, false, core.ScanModeSharded},
+		{"col-block-sharded", colPath, 0, true, core.ScanModeBlockSharded},
 	}
 	byMode := map[string]ioScanMeasurement{}
 	for _, mode := range modes {
@@ -844,12 +874,13 @@ func runIOBench(mc mainConfig, m split.Method) int {
 			Method: m, MaxDepth: 6, MinSplit: 50, SampleSize: 2000,
 			Seed: 7, TempDir: dir, Parallelism: para, Stats: stats,
 			PipelineDepth: mode.depth, DisableZoneSkip: !mode.zoneSkip,
-			Metrics: reg, Logger: mc.logger,
+			BlockSharding: mode.scanMode == core.ScanModeBlockSharded,
+			Metrics:       reg, Logger: mc.logger,
 		})
 		if err != nil {
 			return fail(err)
 		}
-		meas, err := bench.Measure(core.ScanModeSharded, rounds)
+		meas, err := bench.Measure(mode.scanMode, rounds)
 		bench.Close()
 		if err != nil {
 			return fail(err)
@@ -869,15 +900,20 @@ func runIOBench(mc mainConfig, m split.Method) int {
 			im.BlocksSkipped)
 	}
 	row, sync, piped, noskip := byMode["row"], byMode["col-sync"], byMode["col-pipelined"], byMode["col-noskip"]
+	blockSharded := byMode["col-block-sharded"]
 	if row.TuplesPerSec > 0 {
 		rep.SyncSpeedupVsRow = sync.TuplesPerSec / row.TuplesPerSec
 		rep.PipelinedSpeedupVsRow = piped.TuplesPerSec / row.TuplesPerSec
+		rep.BlockShardedSpeedupVsRow = blockSharded.TuplesPerSec / row.TuplesPerSec
 	}
 	if noskip.TuplesPerSec > 0 {
 		rep.ZoneSkipSpeedup = piped.TuplesPerSec / noskip.TuplesPerSec
 	}
-	fmt.Printf("columnar pipelined vs row: %.2fx | sync vs row: %.2fx | zone skipping: %.2fx\n",
-		rep.PipelinedSpeedupVsRow, rep.SyncSpeedupVsRow, rep.ZoneSkipSpeedup)
+	if piped.TuplesPerSec > 0 {
+		rep.BlockShardedSpeedupVsPipelined = blockSharded.TuplesPerSec / piped.TuplesPerSec
+	}
+	fmt.Printf("columnar pipelined vs row: %.2fx | sync vs row: %.2fx | zone skipping: %.2fx | block-sharded vs pipelined: %.2fx\n",
+		rep.PipelinedSpeedupVsRow, rep.SyncSpeedupVsRow, rep.ZoneSkipSpeedup, rep.BlockShardedSpeedupVsPipelined)
 
 	if mc.ioVerify {
 		verified, err := verifyIOTrees(rowPath, colPath, m, n, dir, mc.logger)
@@ -900,12 +936,13 @@ func runIOBench(mc mainConfig, m split.Method) int {
 	return 0
 }
 
-// verifyIOTrees builds trees over the row file and the columnar file
-// across pipeline depths {1, 4} and Parallelism {1, 8} and returns the
-// number of configurations checked, erroring unless every encoded tree is
-// byte-identical to the row-format Parallelism=1 baseline.
+// verifyIOTrees builds trees over the row file and the columnar file —
+// the latter chunk-sharded and block-sharded — across pipeline depths
+// {1, 4} and Parallelism {1, 8} and returns the number of configurations
+// checked, erroring unless every encoded tree is byte-identical to the
+// row-format Parallelism=1 baseline.
 func verifyIOTrees(rowPath, colPath string, m split.Method, n int64, dir string, logger *slog.Logger) (int, error) {
-	build := func(path string, depth, para int) ([]byte, error) {
+	build := func(path string, depth, para int, blockShard bool) ([]byte, error) {
 		src, err := data.Open(path)
 		if err != nil {
 			return nil, err
@@ -914,7 +951,7 @@ func verifyIOTrees(rowPath, colPath string, m split.Method, n int64, dir string,
 			Method: m, MaxDepth: 8, MinSplit: 50, SampleSize: 2000,
 			StopThreshold: n / 10, StopAtThreshold: true,
 			Seed: 7, TempDir: dir, Parallelism: para,
-			PipelineDepth: depth, Logger: logger,
+			PipelineDepth: depth, BlockSharding: blockShard, Logger: logger,
 		})
 		if err != nil {
 			return nil, err
@@ -922,27 +959,30 @@ func verifyIOTrees(rowPath, colPath string, m split.Method, n int64, dir string,
 		defer bt.Close()
 		return tree.EncodeTree(bt.Tree())
 	}
-	want, err := build(rowPath, 0, 1)
+	want, err := build(rowPath, 0, 1, false)
 	if err != nil {
 		return 0, err
 	}
 	checked := 1
-	if got, err := build(rowPath, 0, 8); err != nil {
+	if got, err := build(rowPath, 0, 8, false); err != nil {
 		return checked, err
 	} else if !bytes.Equal(got, want) {
 		return checked, fmt.Errorf("row-format tree differs at Parallelism=8")
 	}
 	checked++
-	for _, depth := range []int{1, 4} {
-		for _, para := range []int{1, 8} {
-			got, err := build(colPath, depth, para)
-			if err != nil {
-				return checked, err
+	for _, blockShard := range []bool{false, true} {
+		for _, depth := range []int{1, 4} {
+			for _, para := range []int{1, 8} {
+				got, err := build(colPath, depth, para, blockShard)
+				if err != nil {
+					return checked, err
+				}
+				if !bytes.Equal(got, want) {
+					return checked, fmt.Errorf("columnar tree differs at depth=%d parallelism=%d blockShard=%v",
+						depth, para, blockShard)
+				}
+				checked++
 			}
-			if !bytes.Equal(got, want) {
-				return checked, fmt.Errorf("columnar tree differs at depth=%d parallelism=%d", depth, para)
-			}
-			checked++
 		}
 	}
 	return checked, nil

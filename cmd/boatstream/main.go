@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +61,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "sampling and generator seed")
 		parallelism  = flag.Int("parallelism", 0, "worker goroutines (0 = GOMAXPROCS)")
 		rowUpdates   = flag.Bool("rowupdates", false, "force the row-at-a-time update baseline instead of the columnar chunk router")
+	blockShard   = flag.Bool("blockshard", false, "materialize the base dataset as a temporary columnar file and build it with block-range scan sharding")
 		serve        = flag.Bool("serve", false, "serve predictions concurrently with the updates via the epoch-swapped snapshot path")
 		parity       = flag.Bool("paritycheck", false, "after the soak, compare the maintained tree against a from-scratch build on the final window")
 		metricsOut   = flag.String("metricsjson", "", `write the update metrics registry as JSON to this file ("-" = stdout)`)
@@ -100,15 +102,30 @@ func main() {
 	cfg := core.Config{
 		Method: m, StopThreshold: *threshold, StopAtThreshold: *threshold > 0,
 		SampleSize: *sample, Seed: *seed, Parallelism: *parallelism,
-		RowUpdates: *rowUpdates,
+		RowUpdates: *rowUpdates, BlockSharding: *blockShard,
 		Stats:      &st, Metrics: metrics, Logger: logger,
 	}
+	// -blockshard: the generator source has no blocks to split, so the
+	// base dataset is spooled to a columnar file first — the same tuples,
+	// built through the block-parallel scan instead of the shared reader.
+	buildSrc := data.Source(base)
+	if *blockShard {
+		dir, err := os.MkdirTemp("", "boatstream-base-")
+		fatal(err)
+		defer os.RemoveAll(dir)
+		colPath := filepath.Join(dir, "base.boatc")
+		_, err = data.WriteColFile(colPath, base, 0)
+		fatal(err)
+		colSrc, err := data.OpenColFile(colPath)
+		fatal(err)
+		buildSrc = colSrc
+	}
 	start := time.Now()
-	bt, err := core.Build(base, cfg)
+	bt, err := core.Build(buildSrc, cfg)
 	fatal(err)
 	defer bt.Close()
 	logger.Info("base tree built", "seconds", time.Since(start).Seconds(),
-		"tuples", *tuples, "row_updates", *rowUpdates)
+		"tuples", *tuples, "row_updates", *rowUpdates, "block_sharded", *blockShard)
 
 	// Live telemetry: the sampler feeds runtime gauges and windowed
 	// tuples/sec rates into the registry; the diagnostics server exposes

@@ -7,6 +7,7 @@ import (
 
 	"github.com/boatml/boat/internal/data"
 	"github.com/boatml/boat/internal/gen"
+	"github.com/boatml/boat/internal/iostats"
 	"github.com/boatml/boat/internal/obs"
 	"github.com/boatml/boat/internal/split"
 )
@@ -186,4 +187,158 @@ func TestUpdateZoneSkipExactness(t *testing.T) {
 	apply(on, on.Delete)
 	apply(off, off.Delete)
 	requireEqual(t, "after delete", on.Tree(), off.Tree())
+}
+
+// TestBlockShardedTreeIdentity is the determinism contract of the
+// block-sharded cleanup scan: because every worker owns a contiguous
+// block range and the shadow trees merge in worker order, the scan
+// reproduces the exact sequential file order — so the tree is
+// bit-identical to the sequential build AND the chunk-sharded build, at
+// every parallelism and pipeline depth, with no silent fallback.
+func TestBlockShardedTreeIdentity(t *testing.T) {
+	rowPath, colPath := writeF1Files(t, 3*data.DefaultChunkRows, 512)
+
+	rowSrc, err := data.Open(rowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCfg := colTestConfig()
+	refCfg.Parallelism = 1
+	refCfg.TempDir = t.TempDir()
+	ref, err := Build(rowSrc, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	chunkCfg := colTestConfig()
+	chunkCfg.Parallelism = 8
+	chunkCfg.TempDir = t.TempDir()
+	chunkSrc, err := data.Open(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := Build(chunkSrc, chunkCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chunked.Close()
+	requireEqual(t, "chunk-sharded vs row", chunked.Tree(), ref.Tree())
+
+	for _, depth := range []int{-1, 4} {
+		for _, para := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("depth%d-P%d", depth, para), func(t *testing.T) {
+				colSrc, err := data.Open(colPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats := &iostats.Stats{}
+				cfg := colTestConfig()
+				cfg.Parallelism = para
+				cfg.PipelineDepth = depth
+				cfg.BlockSharding = true
+				cfg.Stats = stats
+				cfg.TempDir = t.TempDir()
+				bt, err := Build(colSrc, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer bt.Close()
+				requireEqual(t, "block-sharded vs row", bt.Tree(), ref.Tree())
+				requireEqual(t, "block-sharded vs chunk-sharded", bt.Tree(), chunked.Tree())
+				if err := bt.CheckConsistency(); err != nil {
+					t.Fatal(err)
+				}
+				if f := stats.ScanFallbacks(); f != 0 {
+					t.Errorf("block-sharded build fell back %d times", f)
+				}
+			})
+		}
+	}
+}
+
+// collectIntervalCounters flattens every internal node's detached
+// interval statistics (lowCounts, highCounts, eqLow) in preorder — the
+// counters the streaming-update router must keep exact even for batches
+// the zone maps route without a per-row pass.
+func collectIntervalCounters(n *bnode) []int64 {
+	var out []int64
+	var walk func(*bnode)
+	walk = func(n *bnode) {
+		if n == nil || n.isLeaf() {
+			return
+		}
+		out = append(out, n.eqLow)
+		out = append(out, n.lowCounts...)
+		out = append(out, n.highCounts...)
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(n)
+	return out
+}
+
+// TestUpdateIntervalCountersExactUnderZoneSkip pins the eager-counting
+// contract of the update router's zone skip (update.go): a numeric batch
+// a zone map routes left adds to lowCounts only (a left skip implies
+// every value is strictly below the interval, so never eqLow), a batch
+// routed right adds to highCounts — exactly the totals the per-row pass
+// produces. The comparison is on the raw node counters, not just the
+// derived tree, for insert (w=+1) and delete (w=-1) alike.
+func TestUpdateIntervalCountersExactUnderZoneSkip(t *testing.T) {
+	base := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, 2*data.DefaultChunkRows, 31)
+	_, chunkPath := writeF1Files(t, data.DefaultChunkRows, 256)
+
+	build := func(disable bool, reg *obs.Registry) *Tree {
+		t.Helper()
+		cfg := colTestConfig()
+		cfg.Parallelism = 4
+		cfg.TempDir = t.TempDir()
+		cfg.DisableZoneSkip = disable
+		cfg.Metrics = reg
+		cfg.ScanChunkRows = 256
+		bt, err := Build(base, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bt
+	}
+	regOn := obs.NewRegistry()
+	on := build(false, regOn)
+	defer on.Close()
+	off := build(true, obs.NewRegistry())
+	defer off.Close()
+
+	compare := func(stage string) {
+		t.Helper()
+		a, b := collectIntervalCounters(on.root), collectIntervalCounters(off.root)
+		if len(a) != len(b) {
+			t.Fatalf("%s: counter vectors differ in length: %d vs %d", stage, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: interval counter %d differs: skip-on %d, skip-off %d", stage, i, a[i], b[i])
+			}
+		}
+	}
+	apply := func(bt *Tree, op func(data.Source) (UpdateStats, error)) {
+		t.Helper()
+		src, err := data.Open(chunkPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := op(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compare("after build")
+	apply(on, on.Insert)
+	apply(off, off.Insert)
+	compare("after insert")
+	if skips := regOn.Snapshot().Counters["update.blocks_skipped"]; skips == 0 {
+		t.Fatal("insert skipped no blocks; the eager-counting path was not exercised")
+	}
+	apply(on, on.Delete)
+	apply(off, off.Delete)
+	compare("after delete")
 }

@@ -134,6 +134,20 @@ type Config struct {
 	// PipelineWorkers is the number of decode goroutines behind a
 	// pipelined scan. 0 selects min(4, GOMAXPROCS).
 	PipelineWorkers int
+	// BlockSharding shards the cleanup scan by contiguous block ranges of
+	// the columnar file instead of dealing chunks from one shared reader:
+	// each of the Parallelism workers owns a byte range of the file with a
+	// private reader and prefetch/decode pipeline, removing the
+	// single-reader and ordered-ring delivery bottlenecks. It requires a
+	// block-splittable source (data.BlockSplitSource — a ColSource,
+	// possibly behind iostats tracking) with at least one block per
+	// worker; anything else falls back to chunk sharding, and storage
+	// faults fall back to the sequential scan exactly like chunk
+	// sharding's. The resulting tree is bit-identical to every other scan
+	// mode: contiguous ranges merged in worker order reproduce the file
+	// order.
+	BlockSharding bool
+
 	// DisableZoneSkip turns off zone-map block skipping in the cleanup
 	// scan and streaming-update routers. A block is skipped only when its
 	// per-column min/max (or category bitmap) proves every row routes down

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -74,6 +78,187 @@ func TestShardedScanFallsBackOnSpillFault(t *testing.T) {
 		t.Errorf("budget used = %d after close, want 0", budget.Used())
 	}
 	requireNoTempsUnder(t, g)
+}
+
+// waitGoroutines polls until the goroutine count falls back to baseline,
+// catching worker or pipeline goroutines leaked by a failed scan.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// failOpenReadFS delegates to the real filesystem but returns, for
+// exactly one chosen Open (1-based across the FS's lifetime), a reader
+// whose reads fail permanently after okReads successful reads — a
+// deterministic mid-range media failure inside one scan pass,
+// independent of bufio's read coalescing.
+type failOpenReadFS struct {
+	failOpen int64
+	okReads  int64
+	opens    atomic.Int64
+}
+
+var errShardDiskGone = errors.New("simulated permanent media failure in shard")
+
+func (f *failOpenReadFS) CreateTemp(dir, pattern string) (data.File, error) {
+	return data.OsFS{}.CreateTemp(dir, pattern)
+}
+func (f *failOpenReadFS) Remove(name string) error { return data.OsFS{}.Remove(name) }
+func (f *failOpenReadFS) Rename(oldpath, newpath string) error {
+	return data.OsFS{}.Rename(oldpath, newpath)
+}
+func (f *failOpenReadFS) Open(name string) (io.ReadCloser, error) {
+	rc, err := data.OsFS{}.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.opens.Add(1) != f.failOpen {
+		return rc, nil
+	}
+	return &failAfterReader{rc: rc, left: f.okReads}, nil
+}
+
+type failAfterReader struct {
+	rc   io.ReadCloser
+	left int64
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if r.left <= 0 {
+		return 0, errShardDiskGone
+	}
+	r.left--
+	if len(p) > 1024 {
+		p = p[:1024]
+	}
+	return r.rc.Read(p)
+}
+func (r *failAfterReader) Close() error { return r.rc.Close() }
+
+// blockShardBuildConfig is the shared configuration of the block-sharded
+// fault tests: enough blocks for 4 workers, pipelined reads.
+func blockShardBuildConfig(stats *iostats.Stats, dir string) Config {
+	return Config{
+		Method: split.NewGini(), MaxDepth: 5, MinSplit: 50,
+		SampleSize: 1500, Seed: 11, Parallelism: 4,
+		BlockSharding: true, Stats: stats, TempDir: dir,
+	}
+}
+
+// writeBlockShardFile materializes a columnar file with enough blocks to
+// block-shard across 4 workers.
+func writeBlockShardFile(t *testing.T, n int64) string {
+	t.Helper()
+	src := gen.MustSource(gen.Config{Function: 1, Noise: 0.05}, n, 77)
+	path := filepath.Join(t.TempDir(), "d.boatc")
+	if _, err := data.WriteColFile(path, src, 512); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBlockShardedScanFallsBackOnReadFault: a permanent read failure
+// inside one worker's block range kills the block-sharded scan; the
+// build must reset every partial statistic, fall back to the sequential
+// scan, produce the exact fault-free tree, leak no goroutines, release
+// its budget, and count I/O passes without double-counting (sampling +
+// one block-sharded attempt + one sequential fallback = 3 scans, not one
+// per worker range).
+func TestBlockShardedScanFallsBackOnReadFault(t *testing.T) {
+	path := writeBlockShardFile(t, 12000)
+	ref, err := func() (*Tree, error) {
+		src, err := data.OpenColFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Build(src, blockShardBuildConfig(nil, t.TempDir()))
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	baseline := runtime.NumGoroutine()
+	// Open #1 is the sampling pass; opens #2..#5 are the four workers'
+	// private readers. Fail the third open — one worker mid-range.
+	fs := &failOpenReadFS{failOpen: 3, okReads: 2}
+	src, err := data.OpenColFile(path, data.ColOptions{FS: fs, Retry: noSleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &iostats.Stats{}
+	budget := data.NewMemBudget(1 << 20)
+	cfg := blockShardBuildConfig(stats, t.TempDir())
+	cfg.Budget = budget
+	bt, err := Build(src, cfg)
+	if err != nil {
+		t.Fatalf("build did not recover from the shard read fault: %v", err)
+	}
+	if got := stats.ScanFallbacks(); got != 1 {
+		t.Errorf("scan fallbacks = %d, want 1", got)
+	}
+	if got := stats.Scans(); got != 3 {
+		t.Errorf("scans = %d, want 3 (sampling, block-sharded attempt, sequential fallback)", got)
+	}
+	requireEqual(t, "fallback after shard read fault", bt.Tree(), ref.Tree())
+	if err := bt.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	bt.Close()
+	if budget.Used() != 0 {
+		t.Errorf("budget used = %d after close, want 0", budget.Used())
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestBlockShardedScanTransientReadRetried: transient read faults inside
+// worker ranges are absorbed by the blockReader's retry policy — no
+// fallback, no goroutine leaks, and the exact fault-free tree.
+func TestBlockShardedScanTransientReadRetried(t *testing.T) {
+	path := writeBlockShardFile(t, 12000)
+	ref, err := func() (*Tree, error) {
+		src, err := data.OpenColFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Build(src, blockShardBuildConfig(nil, t.TempDir()))
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	baseline := runtime.NumGoroutine()
+	fs := faultfs.New(nil, faultfs.Config{
+		Seed: 9, ReadProb: 1, TransientFraction: 1, MaxFaults: 6,
+	})
+	retry := data.RetryPolicy{Attempts: 8, Sleep: func(time.Duration) {}}
+	src, err := data.OpenColFile(path, data.ColOptions{FS: fs, Retry: retry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &iostats.Stats{}
+	bt, err := Build(src, blockShardBuildConfig(stats, t.TempDir()))
+	if err != nil {
+		t.Fatalf("build failed under transient read faults: %v", err)
+	}
+	defer bt.Close()
+	if got := stats.ScanFallbacks(); got != 0 {
+		t.Errorf("scan fallbacks = %d, want 0 (transient faults retry in place)", got)
+	}
+	if st := fs.Stats(); st.Faults == 0 {
+		t.Fatal("injection never fired; the test exercised nothing")
+	}
+	requireEqual(t, "transient faults retried", bt.Tree(), ref.Tree())
+	waitGoroutines(t, baseline)
 }
 
 // TestBuildUnderMixedFaults is the in-process version of the boatbench

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/boatml/boat/internal/data"
@@ -63,10 +65,19 @@ func (t *Tree) runCleanupScan(src data.Source, root *bnode, sp *obs.Span) (int64
 	if w := t.cfg.workers(); w > 1 {
 		// Tiny known-size inputs skip sharding: the overhead cannot pay off.
 		if n, ok := src.Count(); !ok || n >= int64(2*t.cfg.chunkRows()) {
-			sp.SetAttr("mode", "sharded")
-			sp.SetAttr("workers", w)
-			seen, err := t.shardedScan(src, root, w, sp)
-			if err == nil || !data.IsSpillError(err) {
+			var seen int64
+			var err error
+			if bs, blocks, ok := blockSplittable(src, w); ok && t.cfg.BlockSharding {
+				sp.SetAttr("mode", "block-sharded")
+				sp.SetAttr("workers", w)
+				sp.SetAttr("blocks", blocks)
+				seen, err = t.blockShardedScan(bs, root, w, sp)
+			} else {
+				sp.SetAttr("mode", "sharded")
+				sp.SetAttr("workers", w)
+				seen, err = t.shardedScan(src, root, w, sp)
+			}
+			if err == nil || !recoverableScanError(err) {
 				return seen, err
 			}
 			// A storage fault broke the sharded scan. Scan-phase faults
@@ -86,7 +97,7 @@ func (t *Tree) runCleanupScan(src data.Source, root *bnode, sp *obs.Span) (int64
 		sp.SetAttr("mode", "sequential")
 	}
 	seen, err := t.sequentialScan(src, root, sp)
-	if err != nil && data.IsSpillError(err) {
+	if err != nil && recoverableScanError(err) {
 		t.cfg.Stats.RecordScanRetry()
 		t.log.Warn("sequential cleanup scan hit a storage fault; retrying once", "err", err)
 		sp.SetAttr("retried", true)
@@ -96,6 +107,38 @@ func (t *Tree) runCleanupScan(src data.Source, root *bnode, sp *obs.Span) (int64
 		seen, err = t.sequentialScan(src, root, sp)
 	}
 	return seen, err
+}
+
+// recoverableScanError reports whether a failed scan is worth rerunning:
+// storage faults — spill-path failures, block-level read/decode errors
+// (which wrap transient and permanent filesystem faults alike), and bare
+// transient faults. The reset-and-rerun recovery is exact either way; a
+// permanently corrupt file simply fails again with the same typed error,
+// costing one wasted pass. Logical errors (schema mismatch, routing
+// bugs) are never retried.
+func recoverableScanError(err error) bool {
+	if data.IsSpillError(err) || data.IsTransient(err) {
+		return true
+	}
+	var be *data.BlockError
+	return errors.As(err, &be)
+}
+
+// blockSplittable reports whether src can drive a block-sharded scan
+// with w workers: it (or the source behind its iostats wrapper) serves
+// independent block-range scans and has at least one block per worker.
+// Fewer blocks than workers degrades to chunk sharding, which can still
+// split the large blocks row-wise.
+func blockSplittable(src data.Source, w int) (data.BlockSplitSource, int64, bool) {
+	bs, ok := src.(data.BlockSplitSource)
+	if !ok {
+		return nil, 0, false
+	}
+	blocks := bs.BlockSplits()
+	if blocks < int64(w) {
+		return nil, 0, false
+	}
+	return bs, blocks, true
 }
 
 // deriveRoutingCounts reconstructs the per-node class statistics the
@@ -188,15 +231,23 @@ func (t *Tree) sequentialScan(src data.Source, root *bnode, sp *obs.Span) (int64
 // A non-pipelined scanner (row files, in-memory sources, Depth < 0)
 // attaches nothing.
 func attachPipelineSpans(sp *obs.Span, csc data.ChunkScanner) {
-	if sp == nil || csc == nil {
+	if csc == nil {
 		return
 	}
 	pr, ok := csc.(data.PipelineReporter)
 	if !ok {
 		return
 	}
-	ps := pr.PipelineStats()
-	if !ps.Enabled {
+	attachPipelineStats(sp, pr.PipelineStats())
+}
+
+// attachPipelineStats is attachPipelineSpans on an already-extracted
+// (possibly aggregated across per-worker pipelines) stats value. The
+// block-sharded scan sums its workers' reports and attaches them once,
+// so the span skeleton stays identical across scan modes and worker
+// counts.
+func attachPipelineStats(sp *obs.Span, ps data.PipelineStats) {
+	if sp == nil || !ps.Enabled {
 		return
 	}
 	sp.SetAttr("pipeline_depth", ps.Depth)
@@ -770,6 +821,141 @@ func (t *Tree) shardedScan(src data.Source, root *bnode, w int, sp *obs.Span) (i
 			// Close the failed shard too: merge returns mid-walk with its
 			// un-merged buffers (and their temp files) still open. Close is
 			// idempotent, so re-closing already-merged buffers is safe.
+			for _, rest := range shards[i:] {
+				rest.close()
+			}
+			return seen, fmt.Errorf("core: merging scan shard %d: %w", i, err)
+		}
+	}
+	return seen, nil
+}
+
+// blockShardedScan drives w workers over disjoint contiguous block
+// ranges of a splittable columnar source. Unlike shardedScan there is no
+// shared reader and no dealer: each worker owns a byte range of the
+// file, runs its own prefetch/decode pipeline and zone-map pushdown, and
+// routes into its private shadow tree. The shadow trees merge in worker
+// order, and since worker i's range precedes worker i+1's in the file,
+// the merged buffers see rows in exact file order — bit-identical to the
+// sequential scan at every worker count, a stronger guarantee than chunk
+// sharding's per-worker-count determinism.
+//
+// A failed worker flips a shared flag that stops the other workers at
+// their next chunk boundary; everyone still closes its own scanner, so
+// no goroutine or reader outlives the call. The first failure by worker
+// order is returned (deterministic under concurrent faults).
+func (t *Tree) blockShardedScan(bs data.BlockSplitSource, root *bnode, w int, sp *obs.Span) (int64, error) {
+	blocks := bs.BlockSplits()
+	budgets := t.budget.Split(w)
+	shards := make([]*shardNode, w)
+	for i := range shards {
+		shards[i] = t.newShardTree(root, budgets[i])
+	}
+	rows := t.cfg.chunkRows()
+
+	type shardResult struct {
+		routed int64
+		skips  int64
+		secs   float64
+		ps     data.PipelineStats
+		err    error
+	}
+	results := make([]shardResult, w)
+	var (
+		wg     sync.WaitGroup
+		failed atomic.Bool
+	)
+	for i := 0; i < w; i++ {
+		lo := int64(i) * blocks / int64(w)
+		hi := int64(i+1) * blocks / int64(w)
+		wg.Add(1)
+		go func(res *shardResult, shard *shardNode, lo, hi int64) {
+			defer wg.Done()
+			t0 := time.Now()
+			sc := newRouteScratch(rows)
+			sc.zoneSkip = !t.cfg.DisableZoneSkip
+			csc, err := bs.ScanChunkRange(lo, hi, t.pipelineCfg())
+			if err != nil {
+				res.err = err
+				failed.Store(true)
+				return
+			}
+			ch := data.NewChunk(len(t.schema.Attributes), rows)
+			for res.err == nil && !failed.Load() {
+				ch.Reset()
+				err := csc.NextChunk(ch)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					res.err = err
+					break
+				}
+				if ch.Len() == 0 {
+					continue
+				}
+				res.routed += int64(ch.Len())
+				res.err = shard.routeChunk(ch, nil, sc, 0)
+			}
+			if cerr := csc.Close(); res.err == nil && cerr != nil {
+				res.err = cerr
+			}
+			if pr, ok := csc.(data.PipelineReporter); ok {
+				res.ps = pr.PipelineStats()
+			}
+			res.skips = sc.skips
+			res.secs = time.Since(t0).Seconds()
+			if res.err != nil {
+				failed.Store(true)
+			}
+		}(&results[i], shards[i], lo, hi)
+	}
+	wg.Wait()
+
+	// Aggregate per-worker telemetry into the single per-scan report the
+	// chunk-sharded and sequential paths emit, so the span skeleton and
+	// metric families are identical across scan modes.
+	var (
+		seen, skips int64
+		agg         data.PipelineStats
+		scanErr     error
+	)
+	for i := range results {
+		r := &results[i]
+		seen += r.routed
+		skips += r.skips
+		if r.ps.Enabled {
+			if !agg.Enabled {
+				agg = r.ps
+			} else {
+				agg.Blocks += r.ps.Blocks
+				agg.PhysBytes += r.ps.PhysBytes
+				agg.Read += r.ps.Read
+				agg.Decode += r.ps.Decode
+				agg.Deliver += r.ps.Deliver
+				if r.ps.Start.Before(agg.Start) {
+					agg.Start = r.ps.Start
+				}
+			}
+		}
+		if scanErr == nil && r.err != nil {
+			scanErr = r.err
+		}
+	}
+	attachPipelineStats(sp, agg)
+	t.recordPipelineStatsValue(agg)
+	if scanErr != nil {
+		for _, s := range shards {
+			s.close()
+		}
+		return seen, scanErr
+	}
+	for i := range results {
+		t.recordShardThroughput(i, results[i].routed, results[i].secs)
+	}
+	t.recordZoneSkips(sp, skips)
+	for i, s := range shards {
+		if err := s.merge(); err != nil {
 			for _, rest := range shards[i:] {
 				rest.close()
 			}

@@ -22,8 +22,12 @@ const (
 	// ScanModeChunk is the level-synchronous columnar scan, sequential.
 	ScanModeChunk ScanMode = "chunk"
 	// ScanModeSharded is the level-synchronous columnar scan sharded
-	// across Parallelism workers.
+	// across Parallelism workers fed chunks from one shared reader.
 	ScanModeSharded ScanMode = "sharded"
+	// ScanModeBlockSharded shards by contiguous block ranges of the file:
+	// every worker owns a byte range with a private reader and pipeline.
+	// Requires a block-splittable source (a columnar file).
+	ScanModeBlockSharded ScanMode = "block_sharded"
 )
 
 // ScanMeasurement is the result of timing cleanup-scan passes.
@@ -124,6 +128,20 @@ func (b *ScanBench) RunOnce(mode ScanMode) (int64, error) {
 			w = 2
 		}
 		seen, err := b.tree.shardedScan(b.src, b.root, w, nil)
+		if err == nil {
+			deriveRoutingCounts(b.root)
+		}
+		return seen, err
+	case ScanModeBlockSharded:
+		w := b.tree.cfg.workers()
+		if w < 2 {
+			w = 2
+		}
+		bs, _, ok := blockSplittable(b.src, w)
+		if !ok {
+			return 0, fmt.Errorf("core: scan mode %q needs a block-splittable source with >= %d blocks", mode, w)
+		}
+		seen, err := b.tree.blockShardedScan(bs, b.root, w, nil)
 		if err == nil {
 			deriveRoutingCounts(b.root)
 		}

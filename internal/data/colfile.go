@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"sync/atomic"
 )
 
@@ -26,14 +27,23 @@ import (
 // missing or mangled footer is how a torn (partially written) file is
 // detected at open.
 //
-// Layout:
+// Layout (version 2):
 //
 //	"BOATCOLF" | version u8 | reserved u8 | blockRows u32 | schema
 //	repeat per block:
 //	  bodyLen u32 | body | crc32c(body) u32
 //	  body = rowCount u32, per attribute column then the class column:
 //	    enc u8 | flags u8 | min f64 | max f64 | codes u64 | segLen u32 | seg
-//	rowCount u64 | blockCount u64 | "BOATCEND"
+//	index: per block the file-absolute offset of its bodyLen prefix, u64
+//	  each | crc32c(index) u32
+//	rowCount u64 | blockCount u64 | indexLen u64 | "BOATCEND"
+//
+// The index is what makes a single file byte-range splittable: worker k
+// of a block-sharded scan seeks straight to offsets[lo] and reads blocks
+// [lo, hi) with a private reader, no shared state with the other
+// workers. Version 1 files (no index, 24-byte footer without indexLen)
+// remain readable; their offsets are derived on demand by a one-pass
+// walk of the block length prefixes (see BlockOffsets).
 //
 // Decoding a block touches each column once sequentially — the shape the
 // prefetch pipeline (pipeline.go) parallelizes across decode workers.
@@ -41,7 +51,8 @@ import (
 const (
 	colMagic    = "BOATCOLF"
 	colEndMagic = "BOATCEND"
-	colVersion  = 1
+	colVersion  = 2
+	colVersion1 = 1
 
 	// DefaultBlockRows is the block row capacity used when the writer's
 	// caller does not choose one. Large enough to amortize per-block
@@ -49,11 +60,18 @@ const (
 	// of float64) stays cache-friendly.
 	DefaultBlockRows = 8192
 
-	colFooterLen = 24
+	colFooterV1Len = 24
+	colFooterLen   = 32
 
 	// maxColBlockBody bounds a declared block body length; anything larger
 	// is corruption, not data.
 	maxColBlockBody = 1 << 30
+
+	// maxColBlockValues bounds blockRows*(attrs+1) — the float64/int32
+	// cells a decode chunk must allocate. A header may not demand an
+	// absurd decode footprint (a const-encoded column stores no payload,
+	// so body size alone cannot bound the decoded size).
+	maxColBlockValues = 1 << 25
 )
 
 // Column segment encodings.
@@ -310,8 +328,12 @@ func decodeColumn(body []byte, off, rows int, dst []float64) (int, ColZone, erro
 	return off + seg, z, nil
 }
 
-// decodeClassColumn decodes the class segment from body[off:] into dst.
-func decodeClassColumn(body []byte, off, rows int, dst []int32) (int, error) {
+// decodeClassColumn decodes the class segment from body[off:] into dst
+// and validates every decoded label against the schema's class count:
+// labels index class-count arrays all over the scan and update paths, so
+// an out-of-range code in a checksum-valid (crafted or miswritten) block
+// must fail the decode here, not corrupt memory later.
+func decodeClassColumn(body []byte, off, rows int, dst []int32, classes int) (int, error) {
 	enc, _, min, _, _, seg, off, err := readColHeader(body, off, rows)
 	if err != nil {
 		return 0, err
@@ -334,6 +356,11 @@ func decodeClassColumn(body []byte, off, rows int, dst []int32) (int, error) {
 	default:
 		for i := range dst {
 			dst[i] = base + int32(binary.LittleEndian.Uint32(p[4*i:]))
+		}
+	}
+	for _, c := range dst {
+		if c < 0 || int(c) >= classes {
+			return 0, fmt.Errorf("data: class label %d outside schema range [0,%d)", c, classes)
 		}
 	}
 	return off + seg, nil
@@ -359,8 +386,9 @@ func readColHeader(body []byte, off, rows int) (enc, flags byte, min, max float6
 }
 
 // decodeBlockInto decodes a verified block body into dst (which must be
-// empty with capacity >= the block's rows), filling zones (len >= width).
-func decodeBlockInto(body []byte, maxRows int, dst *Chunk, zones []ColZone) error {
+// empty with capacity >= the block's rows), filling zones (len >= width)
+// and validating class labels against classes.
+func decodeBlockInto(body []byte, maxRows int, dst *Chunk, zones []ColZone, classes int) error {
 	if len(body) < 4 {
 		return fmt.Errorf("%w: block body of %d bytes", ErrColTruncated, len(body))
 	}
@@ -376,7 +404,7 @@ func decodeBlockInto(body []byte, maxRows int, dst *Chunk, zones []ColZone) erro
 			return err
 		}
 	}
-	if off, err = decodeClassColumn(body, off, rows, dst.class[:rows]); err != nil {
+	if off, err = decodeClassColumn(body, off, rows, dst.class[:rows], classes); err != nil {
 		return err
 	}
 	if off != len(body) {
@@ -395,17 +423,27 @@ type ColFileWriter struct {
 	f         *os.File
 	w         *bufio.Writer
 	schema    *Schema
+	version   byte
 	blockRows int
 	stage     *Chunk
 	body      []byte
 	rows      int64
 	blocks    int64
+	off       int64   // file offset of the next block's length prefix
+	offsets   []int64 // per-block offset of the length prefix (the index)
 	closed    bool
 }
 
 // CreateColFile creates (truncating) a columnar dataset file at path.
 // blockRows <= 0 selects DefaultBlockRows.
 func CreateColFile(path string, schema *Schema, blockRows int) (*ColFileWriter, error) {
+	return createColFile(path, schema, blockRows, colVersion)
+}
+
+// createColFile is CreateColFile with an explicit format version; tests
+// use it to materialize version-1 files (no offset index) and exercise
+// the backward-compatible header walk.
+func createColFile(path string, schema *Schema, blockRows int, version byte) (*ColFileWriter, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
@@ -417,7 +455,7 @@ func CreateColFile(path string, schema *Schema, blockRows int) (*ColFileWriter, 
 		return nil, err
 	}
 	w := bufio.NewWriterSize(f, 1<<18)
-	hdr := append([]byte(colMagic), byte(colVersion), 0)
+	hdr := append([]byte(colMagic), version, 0)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(blockRows))
 	hdr = appendSchema(hdr, schema)
 	if _, err := w.Write(hdr); err != nil {
@@ -429,8 +467,10 @@ func CreateColFile(path string, schema *Schema, blockRows int) (*ColFileWriter, 
 		f:         f,
 		w:         w,
 		schema:    schema,
+		version:   version,
 		blockRows: blockRows,
 		stage:     NewChunk(len(schema.Attributes), blockRows),
+		off:       int64(len(hdr)),
 	}, nil
 }
 
@@ -490,6 +530,8 @@ func (cw *ColFileWriter) flushBlock() error {
 	if _, err := cw.w.Write(pre[:]); err != nil {
 		return err
 	}
+	cw.offsets = append(cw.offsets, cw.off)
+	cw.off += int64(4 + len(cw.body) + 4)
 	cw.rows += int64(cw.stage.Len())
 	cw.blocks++
 	cw.stage.Reset()
@@ -499,8 +541,8 @@ func (cw *ColFileWriter) flushBlock() error {
 // Count returns the number of tuples appended so far.
 func (cw *ColFileWriter) Count() int64 { return cw.rows + int64(cw.stage.Len()) }
 
-// Close flushes the final (possibly short) block, writes the footer, and
-// closes the file.
+// Close flushes the final (possibly short) block, writes the offset
+// index and the footer, and closes the file.
 func (cw *ColFileWriter) Close() error {
 	if cw.closed {
 		return nil
@@ -510,13 +552,34 @@ func (cw *ColFileWriter) Close() error {
 		cw.f.Close()
 		return err
 	}
-	var foot [colFooterLen]byte
-	binary.LittleEndian.PutUint64(foot[0:], uint64(cw.rows))
-	binary.LittleEndian.PutUint64(foot[8:], uint64(cw.blocks))
-	copy(foot[16:], colEndMagic)
-	if _, err := cw.w.Write(foot[:]); err != nil {
-		cw.f.Close()
-		return err
+	if cw.version == colVersion1 {
+		var foot [colFooterV1Len]byte
+		binary.LittleEndian.PutUint64(foot[0:], uint64(cw.rows))
+		binary.LittleEndian.PutUint64(foot[8:], uint64(cw.blocks))
+		copy(foot[16:], colEndMagic)
+		if _, err := cw.w.Write(foot[:]); err != nil {
+			cw.f.Close()
+			return err
+		}
+	} else {
+		idx := make([]byte, 0, 8*len(cw.offsets)+4)
+		for _, off := range cw.offsets {
+			idx = binary.LittleEndian.AppendUint64(idx, uint64(off))
+		}
+		idx = binary.LittleEndian.AppendUint32(idx, crc32.Checksum(idx, castagnoli))
+		if _, err := cw.w.Write(idx); err != nil {
+			cw.f.Close()
+			return err
+		}
+		var foot [colFooterLen]byte
+		binary.LittleEndian.PutUint64(foot[0:], uint64(cw.rows))
+		binary.LittleEndian.PutUint64(foot[8:], uint64(cw.blocks))
+		binary.LittleEndian.PutUint64(foot[16:], uint64(len(idx)))
+		copy(foot[24:], colEndMagic)
+		if _, err := cw.w.Write(foot[:]); err != nil {
+			cw.f.Close()
+			return err
+		}
 	}
 	if err := cw.w.Flush(); err != nil {
 		cw.f.Close()
@@ -566,16 +629,31 @@ type ColOptions struct {
 	Pipeline PipelineConfig
 }
 
+// colIndex lazily holds the per-block offset table of one file, shared
+// by the full-file source and every Range view derived from it so the
+// load (footer-region read for version 2, header walk for version 1)
+// happens at most once per OpenColFile.
+type colIndex struct {
+	once    sync.Once
+	offsets []int64 // len blocks+1; [i] = offset of block i's length prefix, [blocks] = end of block region
+	err     error
+}
+
 // ColSource is a Source backed by a columnar block file created by
-// ColFileWriter. Every scan opens a fresh sequential pass over the file.
+// ColFileWriter. Every scan opens a fresh sequential pass over the file
+// — or, for a Range view, over its contiguous run of blocks.
 type ColSource struct {
 	path      string
 	schema    *Schema
+	version   byte
 	blockRows int
 	headerLen int64
-	dataLen   int64 // bytes of the block region (between header and footer)
-	count     int64
-	blocks    int64
+	dataLen   int64 // bytes of the block region (between header and index/footer)
+	indexLen  int64 // bytes of the offset index (0 for version-1 files)
+	count     int64 // rows in [lo, hi)
+	blocks    int64 // blocks in the whole file
+	lo, hi    int64 // the view's block range (full file: [0, blocks))
+	idx       *colIndex
 
 	fsys  FS
 	retry RetryPolicy
@@ -608,8 +686,9 @@ func OpenColFile(path string, opts ...ColOptions) (*ColSource, error) {
 	if _, err := io.ReadFull(br, fixed[:]); err != nil {
 		return nil, fmt.Errorf("data: %s: reading header: %w", path, err)
 	}
-	if fixed[0] != colVersion {
-		return nil, fmt.Errorf("data: %s: unsupported columnar version %d", path, fixed[0])
+	version := fixed[0]
+	if version != colVersion && version != colVersion1 {
+		return nil, fmt.Errorf("data: %s: unsupported columnar version %d", path, version)
 	}
 	blockRows := int(binary.LittleEndian.Uint32(fixed[2:]))
 	if blockRows <= 0 || blockRows > 1<<24 {
@@ -618,6 +697,10 @@ func OpenColFile(path string, opts ...ColOptions) (*ColSource, error) {
 	schema, err := readSchema(br)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if int64(blockRows)*int64(len(schema.Attributes)+1) > maxColBlockValues {
+		return nil, fmt.Errorf("data: %s: implausible block geometry (%d rows x %d columns)",
+			path, blockRows, len(schema.Attributes)+1)
 	}
 	pos, err := f.Seek(0, io.SeekCurrent)
 	if err != nil {
@@ -628,19 +711,30 @@ func OpenColFile(path string, opts ...ColOptions) (*ColSource, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st.Size() < headerLen+colFooterLen {
+	footerLen := int64(colFooterLen)
+	if version == colVersion1 {
+		footerLen = colFooterV1Len
+	}
+	if st.Size() < headerLen+footerLen {
 		return nil, fmt.Errorf("%w: %s: no footer", ErrColTruncated, path)
 	}
-	var foot [colFooterLen]byte
-	if _, err := f.ReadAt(foot[:], st.Size()-colFooterLen); err != nil {
+	foot := make([]byte, footerLen)
+	if _, err := f.ReadAt(foot, st.Size()-footerLen); err != nil {
 		return nil, fmt.Errorf("data: %s: reading footer: %w", path, err)
 	}
-	if string(foot[16:]) != colEndMagic {
+	if string(foot[footerLen-8:]) != colEndMagic {
 		return nil, fmt.Errorf("%w: %s: footer magic missing (partial write?)", ErrColTruncated, path)
 	}
 	count := int64(binary.LittleEndian.Uint64(foot[0:]))
 	blocks := int64(binary.LittleEndian.Uint64(foot[8:]))
-	dataLen := st.Size() - headerLen - colFooterLen
+	var indexLen int64
+	if version != colVersion1 {
+		indexLen = int64(binary.LittleEndian.Uint64(foot[16:]))
+		if indexLen != 8*blocks+4 || st.Size() < headerLen+indexLen+footerLen {
+			return nil, fmt.Errorf("%w: %s: offset index inconsistent with footer", ErrColTruncated, path)
+		}
+	}
+	dataLen := st.Size() - headerLen - indexLen - footerLen
 	if count < 0 || blocks < 0 || (blocks == 0) != (dataLen == 0) ||
 		(blocks > 0 && count > blocks*int64(blockRows)) {
 		return nil, fmt.Errorf("%w: %s: footer inconsistent with file size", ErrColTruncated, path)
@@ -648,16 +742,140 @@ func OpenColFile(path string, opts ...ColOptions) (*ColSource, error) {
 	return &ColSource{
 		path:      path,
 		schema:    schema,
+		version:   version,
 		blockRows: blockRows,
 		headerLen: headerLen,
 		dataLen:   dataLen,
+		indexLen:  indexLen,
 		count:     count,
 		blocks:    blocks,
+		lo:        0,
+		hi:        blocks,
+		idx:       &colIndex{},
 		fsys:      fsOrDefault(o.FS),
 		retry:     o.Retry,
 		rec:       o.Recorder,
 		pipe:      o.Pipeline,
 	}, nil
+}
+
+// OpenColRange opens a columnar dataset file restricted to the blocks
+// [blockLo, blockHi) — one shard of a block-parallel scan. The view
+// scans only its byte range of the file and reports the exact row count
+// of its blocks.
+func OpenColRange(path string, blockLo, blockHi int64, opts ...ColOptions) (*ColSource, error) {
+	s, err := OpenColFile(path, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Range(blockLo, blockHi)
+}
+
+// Range returns a view of the source restricted to blocks [lo, hi) of
+// the file (absolute block indexes). Views share the parent's lazily
+// loaded offset index; deriving a range of a range is not supported.
+func (s *ColSource) Range(lo, hi int64) (*ColSource, error) {
+	if s.lo != 0 || s.hi != s.blocks {
+		return nil, fmt.Errorf("data: %s: range of a range view", s.path)
+	}
+	if lo < 0 || hi > s.blocks || lo > hi {
+		return nil, fmt.Errorf("data: %s: block range [%d,%d) outside [0,%d)", s.path, lo, hi, s.blocks)
+	}
+	r := *s
+	r.lo, r.hi = lo, hi
+	r.count = s.rowsInBlocks(lo, hi)
+	return &r, nil
+}
+
+// rowsInBlocks computes the exact row count of blocks [lo, hi): the
+// writer only flushes full blocks mid-stream, so every block except the
+// file's last holds exactly blockRows rows.
+func (s *ColSource) rowsInBlocks(lo, hi int64) int64 {
+	if lo >= hi {
+		return 0
+	}
+	n := (hi - lo) * int64(s.blockRows)
+	if hi == s.blocks {
+		n += s.count - s.blocks*int64(s.blockRows) // last block's shortfall (<= 0)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// BlockOffsets returns the file-absolute offset of every block's length
+// prefix plus a final sentinel (the end of the block region) — blocks+1
+// entries. Version-2 files read the footer-region index (CRC-checked);
+// version-1 files derive it by a one-pass walk of the block length
+// prefixes. The result is computed once and shared with every Range
+// view. Like the header and footer, the index is metadata and is read
+// directly, not through the injected FS.
+func (s *ColSource) BlockOffsets() ([]int64, error) {
+	s.idx.once.Do(func() {
+		s.idx.offsets, s.idx.err = s.loadBlockOffsets()
+	})
+	return s.idx.offsets, s.idx.err
+}
+
+func (s *ColSource) loadBlockOffsets() ([]int64, error) {
+	end := s.headerLen + s.dataLen
+	offsets := make([]int64, 0, s.blocks+1)
+	if s.version != colVersion1 {
+		f, err := os.Open(s.path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		idx := make([]byte, s.indexLen)
+		if _, err := f.ReadAt(idx, end); err != nil {
+			return nil, fmt.Errorf("%w: %s: reading offset index: %v", ErrColTruncated, s.path, err)
+		}
+		body, tail := idx[:len(idx)-4], idx[len(idx)-4:]
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+			return nil, fmt.Errorf("%w: %s: offset index", ErrColChecksum, s.path)
+		}
+		prev := int64(0)
+		for i := int64(0); i < s.blocks; i++ {
+			off := int64(binary.LittleEndian.Uint64(body[8*i:]))
+			if off < s.headerLen || off <= prev && i > 0 || off+8 > end {
+				return nil, fmt.Errorf("%w: %s: offset index entry %d out of order", ErrColTruncated, s.path, i)
+			}
+			if i == 0 && off != s.headerLen {
+				return nil, fmt.Errorf("%w: %s: offset index does not start at the first block", ErrColTruncated, s.path)
+			}
+			offsets = append(offsets, off)
+			prev = off
+		}
+		return append(offsets, end), nil
+	}
+	// Version 1: walk the length prefixes. 4 bytes per block via ReadAt —
+	// a metadata pass, not a data scan.
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pre [4]byte
+	off := s.headerLen
+	for i := int64(0); i < s.blocks; i++ {
+		if off+8 > end {
+			return nil, fmt.Errorf("%w: %s: block %d past end of block region", ErrColTruncated, s.path, i)
+		}
+		if _, err := f.ReadAt(pre[:], off); err != nil {
+			return nil, fmt.Errorf("%w: %s: walking block %d: %v", ErrColTruncated, s.path, i, err)
+		}
+		bodyLen := int64(binary.LittleEndian.Uint32(pre[:]))
+		if bodyLen == 0 || bodyLen > maxColBlockBody || off+4+bodyLen+4 > end {
+			return nil, fmt.Errorf("%w: %s: walking block %d: implausible length %d", ErrColTruncated, s.path, i, bodyLen)
+		}
+		offsets = append(offsets, off)
+		off += 4 + bodyLen + 4
+	}
+	if off != end {
+		return nil, fmt.Errorf("%w: %s: %d bytes of slack after the last block", ErrColTruncated, s.path, end-off)
+	}
+	return append(offsets, end), nil
 }
 
 // Path returns the backing file path.
@@ -666,8 +884,13 @@ func (s *ColSource) Path() string { return s.path }
 // BlockRows returns the file's block row capacity.
 func (s *ColSource) BlockRows() int { return s.blockRows }
 
-// Blocks returns the number of blocks in the file.
-func (s *ColSource) Blocks() int64 { return s.blocks }
+// Blocks returns the number of blocks the view scans (the whole file
+// for a source returned by OpenColFile, the range for a Range view).
+func (s *ColSource) Blocks() int64 { return s.hi - s.lo }
+
+// BlockRange returns the view's block range [lo, hi) in absolute file
+// block indexes.
+func (s *ColSource) BlockRange() (lo, hi int64) { return s.lo, s.hi }
 
 // SizeBytes returns the encoded size of the block region (physical
 // payload bytes, excluding header and footer).
@@ -716,14 +939,63 @@ func (s *ColSource) ScanChunksPipeline(cfg PipelineConfig) (ChunkScanner, error)
 			br:    br,
 			dec:   NewChunk(len(s.schema.Attributes), s.blockRows),
 			zones: make([]ColZone, len(s.schema.Attributes)),
+			block: s.lo,
 		}, nil
 	}
 	return newColPipeline(s, br, cfg), nil
 }
 
-// openBlockReader opens a fresh sequential pass positioned at the first
-// block, retrying transient open faults.
+// BlockSplitSource is implemented by sources whose chunked scan can be
+// partitioned into independent contiguous block ranges, each served by a
+// private reader with no shared state — the unit the block-sharded
+// cleanup scan parallelizes over. Wrappers (iostats tracking) forward
+// both methods so the capability survives wrapping.
+type BlockSplitSource interface {
+	ChunkedSource
+	// BlockSplits returns the number of independently scannable blocks;
+	// 0 means the source cannot be split.
+	BlockSplits() int64
+	// ScanChunkRange begins a chunked scan of blocks [lo, hi) under cfg.
+	// The union of the scans of any partition of [0, BlockSplits()) into
+	// contiguous ranges delivers exactly the full scan's rows, in file
+	// order within each range.
+	ScanChunkRange(lo, hi int64, cfg PipelineConfig) (ChunkScanner, error)
+}
+
+// BlockSplits implements BlockSplitSource.
+func (s *ColSource) BlockSplits() int64 { return s.hi - s.lo }
+
+// ScanChunkRange implements BlockSplitSource: a scan of blocks [lo, hi)
+// with a private reader and pipeline. Failures to set the range scan up
+// (index load, open) are wrapped in a *BlockError locating the range's
+// first block, so every range-scan failure is typed block-level.
+func (s *ColSource) ScanChunkRange(lo, hi int64, cfg PipelineConfig) (ChunkScanner, error) {
+	r, err := s.Range(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := r.ScanChunksPipeline(cfg)
+	if err != nil {
+		return nil, &BlockError{Path: s.path, Block: lo, Err: err}
+	}
+	return sc, nil
+}
+
+// openBlockReader opens a fresh pass positioned at the view's first
+// block, retrying transient open faults. Full-file views start right
+// after the header; Range views resolve their start offset through the
+// block index and seek to it when the filesystem supports seeking,
+// falling back to read-and-discard otherwise (injected test filesystems
+// are plain readers).
 func (s *ColSource) openBlockReader() (*blockReader, error) {
+	start, length := s.headerLen, s.dataLen
+	if s.lo != 0 || s.hi != s.blocks {
+		offs, err := s.BlockOffsets()
+		if err != nil {
+			return nil, err
+		}
+		start, length = offs[s.lo], offs[s.hi]-offs[s.lo]
+	}
 	var rc io.ReadCloser
 	err := s.retry.Do(s.rec, func() error {
 		var err error
@@ -735,14 +1007,23 @@ func (s *ColSource) openBlockReader() (*blockReader, error) {
 	}
 	br := &blockReader{
 		rc:        rc,
-		r:         bufio.NewReaderSize(rc, 1<<20),
 		path:      s.path,
 		retry:     s.retry.withDefaults(),
 		rec:       s.rec,
-		remBlocks: s.blocks,
-		remBytes:  s.dataLen,
+		remBlocks: s.hi - s.lo,
+		remBytes:  length,
+		block:     s.lo,
 	}
-	if err := br.discard(s.headerLen); err != nil {
+	if sk, ok := rc.(io.Seeker); ok {
+		if _, err := sk.Seek(start, io.SeekStart); err != nil {
+			rc.Close()
+			return nil, err
+		}
+		br.r = bufio.NewReaderSize(rc, 1<<20)
+		return br, nil
+	}
+	br.r = bufio.NewReaderSize(rc, 1<<20)
+	if err := br.discard(start); err != nil {
 		br.Close()
 		return nil, err
 	}
@@ -759,7 +1040,7 @@ func (s *ColSource) decodeBlock(raw []byte, block int64, dst *Chunk, zones []Col
 	if crc32.Checksum(body, castagnoli) != want {
 		return &BlockError{Path: s.path, Block: block, Err: ErrColChecksum}
 	}
-	if err := decodeBlockInto(body, s.blockRows, dst, zones); err != nil {
+	if err := decodeBlockInto(body, s.blockRows, dst, zones, s.schema.ClassCount); err != nil {
 		return &BlockError{Path: s.path, Block: block, Err: err}
 	}
 	return nil
